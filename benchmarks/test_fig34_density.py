@@ -1,0 +1,49 @@
+"""Figures 3 and 4 benchmark — matrix-power densification and C_i.
+
+Paper shape: nnz((Ã^T)^i) grows sharply with i (Figure 3 / 4(a)) while the
+column-difference statistic C_i falls (Figure 4(b)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.matrix_power import (
+    block_density_grid,
+    column_difference_statistic,
+    matrix_power_nnz,
+)
+
+_POWERS = [1, 3, 5, 7]
+
+
+def test_matrix_power_nnz(benchmark, dataset_graph):
+    nnz = benchmark.pedantic(
+        lambda: matrix_power_nnz(dataset_graph, _POWERS),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    for i in _POWERS:
+        benchmark.extra_info[f"nnz_power_{i}"] = nnz[i]
+    assert nnz[1] < nnz[7]
+
+
+def test_column_difference_statistic(benchmark, dataset_graph):
+    stats = benchmark.pedantic(
+        lambda: column_difference_statistic(
+            dataset_graph, _POWERS, num_seeds=10, rng=0
+        ),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    for i in _POWERS:
+        benchmark.extra_info[f"C_{i}"] = stats[i]
+    assert stats[7] < stats[1]
+    assert all(0.0 <= value <= 2.0 for value in stats.values())
+
+
+def test_block_density_grid(benchmark, dataset_graph):
+    grid = benchmark.pedantic(
+        lambda: block_density_grid(dataset_graph, 3, grid=16),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert grid.shape == (16, 16)
+    assert grid.sum() > dataset_graph.num_edges

@@ -1,0 +1,51 @@
+"""Figures 8 and 9 benchmark — parameter sweeps over S and T.
+
+Paper shapes: online time rises and L1 error falls as S grows (Figure 8);
+NA error rises and SA error falls as T grows, with the total TPA error
+minimized at a moderate T (Figure 9).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import sweep_s, sweep_t
+
+
+@pytest.mark.parametrize("s_value", [2, 4, 6])
+def test_fig8_online_time_vs_s(benchmark, s_value, dataset_graph):
+    """One benchmark per S value: times the sweep point's online phase."""
+    from repro.core.tpa import TPA
+
+    method = TPA(s_iteration=s_value, t_iteration=10)
+    method.preprocess(dataset_graph)
+
+    result = benchmark(lambda: method.query(0))
+    assert result.shape == (dataset_graph.num_nodes,)
+
+
+def test_fig8_error_shape(benchmark, dataset_graph):
+    points = benchmark.pedantic(
+        lambda: sweep_s(dataset_graph, [2, 4, 6], t_iteration=10, num_seeds=5),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    errors = {p.value: p.l1_error for p in points}
+    for s_value, error in errors.items():
+        benchmark.extra_info[f"l1_error_S{s_value}"] = error
+    assert errors[6] < errors[2]
+
+
+def test_fig9_error_shape(benchmark, dataset_graph):
+    points = benchmark.pedantic(
+        lambda: sweep_t(
+            dataset_graph, [5, 8, 12, 20], s_iteration=5, num_seeds=5
+        ),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    na = {p.value: p.neighbor_error for p in points}
+    sa = {p.value: p.stranger_error for p in points}
+    for t_value in na:
+        benchmark.extra_info[f"na_error_T{t_value}"] = na[t_value]
+        benchmark.extra_info[f"sa_error_T{t_value}"] = sa[t_value]
+    assert na[20] > na[5]
+    assert sa[20] < sa[5]

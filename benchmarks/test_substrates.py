@@ -1,0 +1,75 @@
+"""Substrate micro-benchmarks.
+
+Not paper artifacts, but they pin the cost of the building blocks every
+experiment depends on: SpMV propagation, SlashBurn, partitioning, push
+operators, walk sampling, and disk-striped propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.backward_push import backward_push
+from repro.baselines.forward_push import forward_push
+from repro.baselines.montecarlo import sample_walk_endpoints
+from repro.graph.diskgraph import DiskGraph
+from repro.graph.partition import partition_graph
+from repro.graph.slashburn import slashburn
+
+
+def test_propagate(benchmark, dataset_graph):
+    x = np.random.default_rng(0).random(dataset_graph.num_nodes)
+    y = benchmark(lambda: dataset_graph.propagate(x))
+    assert y.sum() == pytest.approx(x.sum())
+
+
+def test_slashburn(benchmark, dataset_graph):
+    ordering = benchmark.pedantic(
+        lambda: slashburn(dataset_graph),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["num_hubs"] = ordering.num_hubs
+    benchmark.extra_info["num_blocks"] = len(ordering.blocks)
+    assert ordering.permutation.size == dataset_graph.num_nodes
+
+
+def test_partition(benchmark, dataset_graph):
+    k = max(4, dataset_graph.num_nodes // 250)
+    labels = benchmark.pedantic(
+        lambda: partition_graph(dataset_graph, k, seed=0),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert labels.size == dataset_graph.num_nodes
+
+
+def test_forward_push(benchmark, dataset_graph):
+    result = benchmark(
+        lambda: forward_push(dataset_graph, 0, rmax=1e-4)
+    )
+    benchmark.extra_info["pushes"] = result.pushes
+    assert result.estimate.sum() > 0
+
+
+def test_backward_push(benchmark, dataset_graph):
+    result = benchmark(
+        lambda: backward_push(dataset_graph, 0, rmax=1e-3)
+    )
+    benchmark.extra_info["pushes"] = result.pushes
+
+
+def test_walk_sampling(benchmark, dataset_graph):
+    starts = np.zeros(10_000, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    stops = benchmark(
+        lambda: sample_walk_endpoints(dataset_graph, starts, rng=rng)
+    )
+    assert stops.size == 10_000
+
+
+def test_disk_propagate(benchmark, dataset_graph, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench_disk")
+    disk = DiskGraph.build(dataset_graph, directory, rows_per_stripe=2048)
+    x = np.random.default_rng(1).random(dataset_graph.num_nodes)
+    y = benchmark(lambda: disk.propagate(x))
+    np.testing.assert_allclose(y, dataset_graph.propagate(x), atol=1e-12)

@@ -1,0 +1,37 @@
+"""Table II benchmark — analog dataset generation.
+
+Not a paper measurement per se, but it pins the cost of the substrate the
+other benchmarks stand on and records the realized graph statistics.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.graph.datasets import DATASETS
+from repro.graph.generators import community_graph
+
+_BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def test_generate_analog(benchmark, dataset_name):
+    spec = DATASETS[dataset_name]
+    n = max(64, int(round(spec.analog_nodes * _BENCH_SCALE)))
+
+    graph = benchmark.pedantic(
+        lambda: community_graph(
+            n,
+            avg_degree=spec.avg_degree,
+            num_communities=max(8, n // 125),
+            p_in=spec.p_in(),
+            reciprocity=spec.reciprocity(),
+            seed=spec.seed,
+        ),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_edges
+    benchmark.extra_info["S"] = spec.s_iteration
+    benchmark.extra_info["T"] = spec.t_iteration
+    assert graph.num_nodes == n
+    assert graph.dangling_nodes.size == 0

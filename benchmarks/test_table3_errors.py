@@ -1,0 +1,36 @@
+"""Table III benchmark — measured errors vs theoretical bounds.
+
+Paper shape: the neighbor and stranger approximation errors sit well below
+their Lemma 3 / Lemma 1 bounds, and the total TPA error is far below the
+Theorem 2 bound (the two approximations compensate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import neighbor_bound, stranger_bound, total_bound
+from repro.experiments.table3 import measure_errors
+
+
+def test_table3_errors(benchmark, dataset_graph, dataset_spec):
+    rng = np.random.default_rng(2)
+    seeds = rng.choice(dataset_graph.num_nodes, size=5, replace=False)
+    s, t = dataset_spec.s_iteration, dataset_spec.t_iteration
+
+    na_error, sa_error, tpa_error = benchmark.pedantic(
+        lambda: measure_errors(dataset_graph, s, t, seeds),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    benchmark.extra_info["na_error"] = na_error
+    benchmark.extra_info["na_bound"] = neighbor_bound(0.15, s, t)
+    benchmark.extra_info["sa_error"] = sa_error
+    benchmark.extra_info["sa_bound"] = stranger_bound(0.15, t)
+    benchmark.extra_info["tpa_error"] = tpa_error
+    benchmark.extra_info["tpa_bound"] = total_bound(0.15, s)
+
+    assert na_error <= neighbor_bound(0.15, s, t)
+    assert sa_error <= stranger_bound(0.15, t)
+    assert tpa_error <= total_bound(0.15, s)
+    assert tpa_error <= na_error + sa_error

@@ -1,0 +1,54 @@
+"""Local community detection with TPA + conductance sweep.
+
+Community detection is one of the applications the paper's introduction
+motivates (Whang et al. 2013; Andersen et al. 2006).  The recipe: compute
+RWR scores from a seed inside the community, rank nodes by
+degree-normalized score, and take the prefix with the lowest conductance
+(the "sweep cut").  This example plants communities, detects the seed's
+one with approximate TPA scores, and checks the result against both the
+planted ground truth and a sweep over exact scores.
+
+Run with::
+
+    python examples/community_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TPA, community_graph, rwr_exact
+from repro.analysis.sweep import sweep_cut
+from repro.graph.partition import partition_graph
+
+
+def main() -> None:
+    print("Planting 8 communities in a 2,000-node graph ...")
+    graph = community_graph(
+        2_000, avg_degree=12, num_communities=8, p_in=0.93, seed=31
+    )
+    labels = partition_graph(graph, 8, seed=0)
+
+    method = TPA(s_iteration=5, t_iteration=10)
+    method.preprocess(graph)
+
+    rng = np.random.default_rng(4)
+    seeds = rng.choice(graph.num_nodes, size=4, replace=False)
+
+    print(f"\n{'seed':>6} {'size':>5} {'phi':>7} {'purity':>7} {'exact-phi':>9}")
+    for seed in seeds:
+        approx_cut = sweep_cut(graph, method.query(int(seed)), max_size=600)
+        exact_cut = sweep_cut(graph, rwr_exact(graph, int(seed)), max_size=600)
+
+        members = approx_cut.nodes
+        purity = float((labels[members] == labels[seed]).mean())
+        print(f"{seed:>6} {members.size:>5} {approx_cut.conductance:>7.3f} "
+              f"{purity:>7.2f} {exact_cut.conductance:>9.3f}")
+
+    print("\npurity = fraction of detected members sharing the seed's planted "
+          "community;")
+    print("TPA's sweep conductance should track the exact-score sweep closely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Link prediction with approximate RWR — a classic RWR application
+(Backstrom & Leskovec, WSDM 2011, cited in the paper's introduction).
+
+Protocol: hide a sample of edges from a community graph, then rank hidden
+targets against random non-edges using TPA's RWR scores from each source.
+RWR's locality means hidden (true) targets should outrank random pairs by
+a wide margin; the example reports the AUC-style win rate and hits@10.
+
+Run with::
+
+    python examples/link_prediction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TPA, Graph, community_graph
+
+
+def split_edges(graph: Graph, holdout: int, rng: np.random.Generator):
+    """Remove ``holdout`` edges (keeping the graph dangling-free)."""
+    src, dst = graph.edges()
+    order = rng.permutation(src.size)
+    out_degree = graph.out_degree.copy()
+
+    hidden: list[tuple[int, int]] = []
+    keep = np.ones(src.size, dtype=bool)
+    for index in order:
+        if len(hidden) == holdout:
+            break
+        u = src[index]
+        if out_degree[u] <= 1:
+            continue  # never orphan a node
+        keep[index] = False
+        out_degree[u] -= 1
+        hidden.append((int(u), int(dst[index])))
+
+    train = Graph(graph.num_nodes, src[keep], dst[keep])
+    return train, hidden
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    print("Generating a 4,000-node community graph ...")
+    graph = community_graph(4_000, avg_degree=12, num_communities=32, seed=5)
+
+    train, hidden = split_edges(graph, holdout=200, rng=rng)
+    print(f"  hidden {len(hidden)} edges; training graph has "
+          f"{train.num_edges:,} of {graph.num_edges:,} edges")
+
+    method = TPA(s_iteration=5, t_iteration=10)
+    method.preprocess(train)
+
+    wins = 0
+    trials = 0
+    hits = 0
+    for source, target in hidden:
+        scores = method.query(source)
+        # Compare the hidden target against a random non-neighbor.
+        negative = int(rng.integers(train.num_nodes))
+        while negative == source or negative in set(
+            train.out_neighbors(source).tolist()
+        ):
+            negative = int(rng.integers(train.num_nodes))
+        trials += 1
+        if scores[target] > scores[negative]:
+            wins += 1
+
+        # hits@10 among non-neighbors.
+        candidates = np.argsort(-scores)
+        known = set(train.out_neighbors(source).tolist()) | {source}
+        shortlist = [node for node in candidates.tolist() if node not in known][:10]
+        if target in shortlist:
+            hits += 1
+
+    print(f"\nRWR ranks the true hidden target above a random non-edge in "
+          f"{100 * wins / trials:.1f}% of pairs (chance: 50%)")
+    print(f"hits@10: {100 * hits / len(hidden):.1f}% of hidden edges appear "
+          f"in the source's top-10 recommendations")
+
+
+if __name__ == "__main__":
+    main()

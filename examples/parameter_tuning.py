@@ -1,0 +1,42 @@
+"""Tuning TPA's S and T parameters (Section III-C of the paper).
+
+``S`` trades online time against accuracy — the Theorem 2 bound is
+``2 (1-c)^S``.  The total error is U-shaped in ``T``: too small and the
+seed-agnostic PageRank tail swallows nearby nodes; too large and the
+neighbor approximation extrapolates across community boundaries.  This
+example sweeps both (the workloads behind Figures 8 and 9) and then lets
+:func:`repro.select_parameters` pick a configuration automatically.
+
+Run with::
+
+    python examples/parameter_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import community_graph, select_parameters, sweep_s, sweep_t
+
+
+def main() -> None:
+    print("Generating a 3,000-node community graph ...")
+    graph = community_graph(3_000, avg_degree=10, num_communities=24, seed=9)
+
+    print("\nEffect of S (T fixed to 10) — Figure 8's tradeoff:")
+    print(f"  {'S':>3}  {'online ms':>10}  {'L1 error':>9}")
+    for point in sweep_s(graph, [2, 3, 4, 5, 6], t_iteration=10, num_seeds=8):
+        print(f"  {point.value:>3}  {1e3 * point.online_seconds:>10.2f}  "
+              f"{point.l1_error:>9.4f}")
+
+    print("\nEffect of T (S fixed to 5) — Figure 9's U-shape:")
+    print(f"  {'T':>3}  {'TPA error':>10}  {'NA error':>9}  {'SA error':>9}")
+    for point in sweep_t(graph, [5, 6, 8, 10, 15, 20], s_iteration=5, num_seeds=8):
+        print(f"  {point.value:>3}  {point.l1_error:>10.4f}  "
+              f"{point.neighbor_error:>9.4f}  {point.stranger_error:>9.4f}")
+
+    s_best, t_best = select_parameters(graph, target_error=0.4, num_seeds=5)
+    print(f"\nselect_parameters(target_error=0.4) picked S={s_best}, T={t_best}")
+    print(f"  (Theorem 2 bound at S={s_best}: {2 * 0.85 ** s_best:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""repro — reproduction of *TPA: Fast, Scalable, and Accurate Method for
+Approximate Random Walk with Restart on Billion Scale Graphs* (Yoon, Jung,
+Kang — ICDE 2018).
+
+Quickstart
+----------
+>>> from repro import community_graph, TPA, rwr_exact, l1_error
+>>> graph = community_graph(1000, avg_degree=10, seed=7)
+>>> method = TPA(s_iteration=5, t_iteration=10)
+>>> method.preprocess(graph)          # Algorithm 2: stranger approximation
+>>> scores = method.query(0)          # Algorithm 3: family + neighbor approx
+>>> l1_error(rwr_exact(graph, 0), scores) <= method.error_bound()
+True
+
+Package map
+-----------
+* :mod:`repro.core` — CPI (Algorithm 1) and TPA (Algorithms 2–3) with the
+  paper's accuracy bounds.
+* :mod:`repro.graph` — graph substrate, generators, dataset analogs,
+  SlashBurn, partitioning.
+* :mod:`repro.ranking` — reference PageRank / exact RWR solvers.
+* :mod:`repro.baselines` — BRPPR, NB_LIN, BEAR-APPROX, FORA, HubPPR, BePI.
+* :mod:`repro.metrics` — L1 error, recall@k, memory and timing accounting.
+* :mod:`repro.analysis` — matrix-power densification and block-wise drift.
+* :mod:`repro.experiments` — one driver per paper table/figure
+  (``python -m repro.experiments --list``).
+"""
+
+from repro.exceptions import (
+    ReproError,
+    GraphFormatError,
+    DanglingNodeError,
+    NotPreprocessedError,
+    MemoryBudgetExceeded,
+    ConvergenceError,
+    ParameterError,
+)
+from repro.method import PPRMethod
+from repro.graph import (
+    Graph,
+    read_edge_list,
+    write_edge_list,
+    community_graph,
+    rmat_graph,
+    gnm_random_graph,
+    rewire_random,
+    ring_graph,
+    star_graph,
+    complete_graph,
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    dataset_names,
+    slashburn,
+    partition_graph,
+)
+from repro.core import (
+    cpi,
+    cpi_parts,
+    CPIResult,
+    TPA,
+    TPAParts,
+    family_norm,
+    neighbor_norm,
+    stranger_norm,
+    neighbor_scale,
+    stranger_bound,
+    neighbor_bound,
+    total_bound,
+    convergence_iterations,
+    select_parameters,
+    sweep_s,
+    sweep_t,
+)
+from repro.ranking import pagerank, pagerank_power, rwr_exact, rwr_direct, rwr_power
+from repro.baselines import (
+    BiPPR,
+    BRPPR,
+    FastPPR,
+    RPPR,
+    NBLin,
+    BearApprox,
+    Fora,
+    HubPPR,
+    BePI,
+)
+from repro.graph.diskgraph import DiskGraph
+from repro.graph.stats import GraphStats, graph_stats
+from repro.metrics import (
+    l1_error,
+    top_k,
+    recall_at_k,
+    precision_at_k,
+    ndcg_at_k,
+    MemoryBudget,
+    format_bytes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "DanglingNodeError",
+    "NotPreprocessedError",
+    "MemoryBudgetExceeded",
+    "ConvergenceError",
+    "ParameterError",
+    "PPRMethod",
+    "Graph",
+    "read_edge_list",
+    "write_edge_list",
+    "community_graph",
+    "rmat_graph",
+    "gnm_random_graph",
+    "rewire_random",
+    "ring_graph",
+    "star_graph",
+    "complete_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_names",
+    "slashburn",
+    "partition_graph",
+    "cpi",
+    "cpi_parts",
+    "CPIResult",
+    "TPA",
+    "TPAParts",
+    "family_norm",
+    "neighbor_norm",
+    "stranger_norm",
+    "neighbor_scale",
+    "stranger_bound",
+    "neighbor_bound",
+    "total_bound",
+    "convergence_iterations",
+    "select_parameters",
+    "sweep_s",
+    "sweep_t",
+    "pagerank",
+    "pagerank_power",
+    "rwr_exact",
+    "rwr_direct",
+    "rwr_power",
+    "BiPPR",
+    "BRPPR",
+    "FastPPR",
+    "RPPR",
+    "NBLin",
+    "BearApprox",
+    "DiskGraph",
+    "GraphStats",
+    "graph_stats",
+    "Fora",
+    "HubPPR",
+    "BePI",
+    "l1_error",
+    "top_k",
+    "recall_at_k",
+    "precision_at_k",
+    "ndcg_at_k",
+    "MemoryBudget",
+    "format_bytes",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Structural analyses behind the paper's Figures 3, 4 and 6.
+
+* :mod:`~repro.analysis.matrix_power` — densification of ``(Ãᵀ)^i`` and
+  the column-difference statistic ``C_i`` that drives the stranger
+  approximation's practical accuracy (Figures 3–4, Lemma 1 discussion).
+* :mod:`~repro.analysis.blockwise` — the ``‖Ā^S f − f‖₁`` comparison
+  between real-analog and random graphs that motivates the neighbor
+  approximation (Figure 6, Lemma 3 discussion).
+"""
+
+from repro.analysis.matrix_power import (
+    matrix_power_nnz,
+    column_difference_statistic,
+    block_density_grid,
+)
+from repro.analysis.blockwise import family_drift, family_drift_comparison
+from repro.analysis.sweep import SweepCut, conductance, sweep_cut
+
+__all__ = [
+    "matrix_power_nnz",
+    "column_difference_statistic",
+    "block_density_grid",
+    "family_drift",
+    "family_drift_comparison",
+    "SweepCut",
+    "conductance",
+    "sweep_cut",
+]

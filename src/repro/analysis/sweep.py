@@ -1,0 +1,147 @@
+"""Conductance sweep cuts — local community detection from RWR scores.
+
+Community detection is one of the RWR applications motivating the paper
+(Andersen, Chung & Lang 2006; Whang, Gleich & Dhillon 2013 — both cited).
+The classic recipe: rank nodes by degree-normalized RWR score from a seed,
+then *sweep* — evaluate the conductance of every prefix of the ranking and
+return the prefix with the smallest conductance.  Good approximate RWR
+scores yield good sweep cuts, which makes this a functional (rather than
+numerical) end-to-end test of TPA.
+
+Conductance here is the directed-volume variant on the symmetrized view:
+``φ(S) = cut(S) / min(vol(S), vol(V∖S))`` with ``vol`` the sum of total
+degrees and ``cut`` the number of edges crossing ``S`` in either
+direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["SweepCut", "conductance", "sweep_cut"]
+
+
+@dataclass(frozen=True)
+class SweepCut:
+    """Result of a conductance sweep.
+
+    Attributes
+    ----------
+    nodes:
+        Members of the best community found (original node ids).
+    conductance:
+        Its conductance ``φ`` (lower is better; 0 = disconnected).
+    sweep_conductances:
+        ``φ`` of every prefix examined, in ranking order — useful for
+        plotting the sweep profile.
+    """
+
+    nodes: np.ndarray
+    conductance: float
+    sweep_conductances: np.ndarray
+
+
+def conductance(graph: Graph, nodes: np.ndarray) -> float:
+    """Conductance of a node set on the symmetrized view of ``graph``."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.size == 0:
+        raise ParameterError("conductance needs a non-empty node set")
+    if nodes.size >= graph.num_nodes:
+        raise ParameterError("conductance of the full vertex set is undefined")
+    sym = graph.undirected_view()
+    degree = np.asarray(sym.sum(axis=1)).ravel()
+
+    inside = np.zeros(graph.num_nodes, dtype=bool)
+    inside[nodes] = True
+    volume = float(degree[nodes].sum())
+    total_volume = float(degree.sum())
+    internal = float(sym[nodes][:, nodes].sum())
+    cut = volume - internal
+    denominator = min(volume, total_volume - volume)
+    if denominator == 0.0:
+        return 1.0
+    return cut / denominator
+
+
+def sweep_cut(
+    graph: Graph,
+    scores: np.ndarray,
+    max_size: int | None = None,
+    degree_normalize: bool = True,
+) -> SweepCut:
+    """Find the lowest-conductance prefix of the score ranking.
+
+    Parameters
+    ----------
+    graph:
+        Graph the scores were computed on.
+    scores:
+        RWR (or any) score vector; only nodes with positive score enter
+        the sweep.
+    max_size:
+        Cap on the community size examined (defaults to ``n // 2``).
+    degree_normalize:
+        Rank by ``score / degree`` as in Andersen-Chung-Lang (the RWR
+        analog of their PPR sweep); set False to rank by raw score.
+
+    Returns
+    -------
+    SweepCut
+
+    Notes
+    -----
+    The incremental formulation keeps the sweep ``O(m + n log n)``: volume
+    and cut are updated per added node rather than recomputed per prefix.
+    """
+    if scores.shape != (graph.num_nodes,):
+        raise ParameterError("scores must have one entry per node")
+    if max_size is None:
+        max_size = max(1, graph.num_nodes // 2)
+    if max_size < 1:
+        raise ParameterError("max_size must be at least 1")
+
+    sym = graph.undirected_view()
+    degree = np.asarray(sym.sum(axis=1)).ravel()
+    total_volume = float(degree.sum())
+
+    ranking_scores = scores.astype(np.float64).copy()
+    if degree_normalize:
+        ranking_scores = np.divide(
+            ranking_scores,
+            np.maximum(degree, 1.0),
+        )
+    candidates = np.flatnonzero(scores > 0)
+    if candidates.size == 0:
+        raise ParameterError("no node has positive score")
+    order = candidates[np.argsort(-ranking_scores[candidates], kind="stable")]
+    order = order[: min(max_size, order.size, graph.num_nodes - 1)]
+
+    inside = np.zeros(graph.num_nodes, dtype=bool)
+    volume = 0.0
+    cut = 0.0
+    conductances = np.empty(order.size)
+
+    indptr, indices = sym.indptr, sym.indices
+    for position, node in enumerate(order.tolist()):
+        neighbors = indices[indptr[node] : indptr[node + 1]]
+        internal_edges = float(inside[neighbors].sum())
+        # Adding `node`: its degree joins the volume; edges to current
+        # members stop being cut (each was counted once from the other
+        # side) and its remaining edges become cut.
+        volume += float(degree[node])
+        cut += float(degree[node]) - 2.0 * internal_edges
+        inside[node] = True
+        denominator = min(volume, total_volume - volume)
+        conductances[position] = cut / denominator if denominator > 0 else 1.0
+
+    best = int(np.argmin(conductances))
+    return SweepCut(
+        nodes=order[: best + 1].copy(),
+        conductance=float(conductances[best]),
+        sweep_conductances=conductances,
+    )

@@ -1,0 +1,54 @@
+"""Baseline approximate-RWR methods from the paper's evaluation (Section V).
+
+Every class implements :class:`repro.method.PPRMethod`:
+
+* :class:`~repro.baselines.brppr.BRPPR` — boundary-restricted PPR
+  (Gleich & Polito, 2006): online-only, expands an active vertex set.
+* :class:`~repro.baselines.nblin.NBLin` — NB_LIN (Tong et al., 2008):
+  partition + low-rank + Sherman–Morrison–Woodbury.
+* :class:`~repro.baselines.bear.BearApprox` — BEAR-APPROX (Shin et al.,
+  2015): SlashBurn + block elimination with a drop tolerance.
+* :class:`~repro.baselines.fora.Fora` — FORA (Wang et al., 2017):
+  forward push + Monte-Carlo with a per-node walk index.
+* :class:`~repro.baselines.hubppr.HubPPR` — HubPPR (Wang et al., 2016):
+  bidirectional estimation with hub indexes, adapted to whole-vector
+  queries as in the paper's experiments.
+* :class:`~repro.baselines.bepi.BePI` — BePI (Jung et al., 2017): the
+  *exact* block-elimination method used as ground truth (Appendix A).
+
+Shared substrates: :mod:`~repro.baselines.forward_push`,
+:mod:`~repro.baselines.backward_push`, and
+:mod:`~repro.baselines.montecarlo`.
+"""
+
+from repro.baselines.forward_push import forward_push, ForwardPushResult
+from repro.baselines.backward_push import backward_push, BackwardPushResult
+from repro.baselines.montecarlo import monte_carlo_rwr, sample_walk_endpoints, WalkIndex
+from repro.baselines.bippr import BiPPR
+from repro.baselines.brppr import BRPPR
+from repro.baselines.fastppr import FastPPR
+from repro.baselines.rppr import RPPR
+from repro.baselines.nblin import NBLin
+from repro.baselines.bear import BearApprox
+from repro.baselines.fora import Fora
+from repro.baselines.hubppr import HubPPR
+from repro.baselines.bepi import BePI
+
+__all__ = [
+    "forward_push",
+    "ForwardPushResult",
+    "backward_push",
+    "BackwardPushResult",
+    "monte_carlo_rwr",
+    "sample_walk_endpoints",
+    "WalkIndex",
+    "BiPPR",
+    "BRPPR",
+    "FastPPR",
+    "RPPR",
+    "NBLin",
+    "BearApprox",
+    "Fora",
+    "HubPPR",
+    "BePI",
+]

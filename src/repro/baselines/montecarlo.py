@@ -1,0 +1,153 @@
+"""Monte-Carlo random-walk engine and walk index.
+
+A single random walk with restart probability ``c`` started at ``s`` stops
+at node ``v`` with probability exactly ``π_s(v)`` (the RWR score), so the
+empirical stop distribution of many walks is an unbiased RWR estimator.
+FORA and HubPPR both build on this: FORA runs walks from residual nodes
+after forward push, HubPPR runs walks from the source, and both precompute
+walk *endpoints* in their indexing phase.
+
+The engine is batch-vectorized: all active walkers advance one step per
+numpy pass, sampling out-neighbors directly from the CSR structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["sample_walk_endpoints", "monte_carlo_rwr", "WalkIndex"]
+
+#: Geometric walk lengths have mean 1/c ≈ 6.7 at c = 0.15; a cap of 10/c
+#: truncates less than (1-c)^(10/c) ≈ 2e-5 of the probability mass.
+_LENGTH_CAP_FACTOR = 10
+
+
+def sample_walk_endpoints(
+    graph: Graph,
+    starts: np.ndarray,
+    c: float = 0.15,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Run one random walk per entry of ``starts``; return the stop nodes.
+
+    Each walker stops with probability ``c`` at every step (including
+    step 0, matching the RWR stationary distribution) and otherwise moves
+    to a uniformly random out-neighbor.
+
+    Dangling handling follows the graph's policy: under ``"selfloop"``
+    the added loops are part of the adjacency already; under ``"uniform"``
+    a walker on a dangling node jumps to a uniformly random node.
+    """
+    if not 0.0 < c < 1.0:
+        raise ParameterError("restart probability c must be in (0, 1)")
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    starts = np.asarray(starts, dtype=np.int64)
+
+    indptr = graph.adjacency.indptr
+    indices = graph.adjacency.indices
+    out_degree = (indptr[1:] - indptr[:-1]).astype(np.int64)
+
+    position = starts.copy()
+    endpoints = np.empty_like(position)
+    active = np.arange(position.size, dtype=np.int64)
+    max_steps = int(_LENGTH_CAP_FACTOR / c) + 1
+
+    for _ in range(max_steps):
+        if active.size == 0:
+            break
+        stop = rng.random(active.size) < c
+        stopped = active[stop]
+        endpoints[stopped] = position[stopped]
+        active = active[~stop]
+        if active.size == 0:
+            break
+        pos = position[active]
+        degree = out_degree[pos]
+        moved = degree > 0
+        if moved.any():
+            move_idx = active[moved]
+            move_pos = pos[moved]
+            offsets = (rng.random(move_pos.size) * degree[moved]).astype(np.int64)
+            position[move_idx] = indices[indptr[move_pos] + offsets]
+        if (~moved).any():
+            # Dangling under the 'uniform' policy: teleport anywhere.
+            jump_idx = active[~moved]
+            position[jump_idx] = rng.integers(0, graph.num_nodes, size=jump_idx.size)
+
+    # Truncation: any walker still active stops where it stands.
+    if active.size:
+        endpoints[active] = position[active]
+    return endpoints
+
+
+def monte_carlo_rwr(
+    graph: Graph,
+    seed: int,
+    num_walks: int,
+    c: float = 0.15,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Pure Monte-Carlo RWR estimate: stop-node frequencies of
+    ``num_walks`` walks from ``seed``."""
+    if num_walks < 1:
+        raise ParameterError("num_walks must be at least 1")
+    starts = np.full(num_walks, seed, dtype=np.int64)
+    stops = sample_walk_endpoints(graph, starts, c=c, rng=rng)
+    scores = np.bincount(stops, minlength=graph.num_nodes).astype(np.float64)
+    return scores / num_walks
+
+
+class WalkIndex:
+    """Precomputed random-walk endpoints, ``capacity[v]`` walks per node.
+
+    This is the storage scheme of FORA's indexing phase (and HubPPR's
+    forward hub index): endpoints are concatenated into one array with a
+    per-node offset table, so reading the first ``k`` endpoints of node
+    ``v`` is a contiguous slice.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        capacity: np.ndarray,
+        c: float = 0.15,
+        rng: np.random.Generator | int | None = None,
+    ):
+        capacity = np.asarray(capacity, dtype=np.int64)
+        if capacity.shape != (graph.num_nodes,):
+            raise ParameterError("capacity must have one entry per node")
+        if (capacity < 0).any():
+            raise ParameterError("walk capacities must be non-negative")
+        rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+        self._offsets = np.zeros(graph.num_nodes + 1, dtype=np.int64)
+        np.cumsum(capacity, out=self._offsets[1:])
+        starts = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), capacity)
+        dtype = np.int32 if graph.num_nodes < 2**31 else np.int64
+        if starts.size:
+            self._endpoints = sample_walk_endpoints(graph, starts, c=c, rng=rng).astype(dtype)
+        else:
+            self._endpoints = np.empty(0, dtype=dtype)
+
+    def capacity(self, node: int) -> int:
+        """Number of stored walks for ``node``."""
+        return int(self._offsets[node + 1] - self._offsets[node])
+
+    def endpoints(self, node: int, count: int | None = None) -> np.ndarray:
+        """First ``count`` stored endpoints for ``node`` (all if ``None``)."""
+        begin = self._offsets[node]
+        end = self._offsets[node + 1]
+        if count is not None:
+            end = min(end, begin + count)
+        return self._endpoints[begin:end]
+
+    def nbytes(self) -> int:
+        """Bytes of index storage (endpoint array + offset table)."""
+        return int(self._endpoints.nbytes + self._offsets.nbytes)
+
+    @property
+    def total_walks(self) -> int:
+        return int(self._endpoints.size)

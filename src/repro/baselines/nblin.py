@@ -1,0 +1,192 @@
+"""NB_LIN (Tong, Faloutsos, Pan — "Random walk with restart: fast solutions
+and applications", KAIS 2008).
+
+NB_LIN exploits the linear correlations of real adjacency matrices:
+
+1. partition the graph into ``k`` communities; the within-partition part
+   ``W1`` of the normalized adjacency is block diagonal, so
+   ``Q = I − (1−c) W1ᵀ`` inverts block by block;
+2. low-rank approximate the cross-partition part ``W2ᵀ ≈ U Σ Vᵀ`` (truncated
+   SVD);
+3. combine via the Sherman–Morrison–Woodbury identity:
+
+   .. math::
+
+      (Q - (1-c) U \\Sigma V^\\top)^{-1}
+        = Q^{-1} + (1-c)\\, Q^{-1} U \\Lambda V^\\top Q^{-1},
+      \\qquad
+      \\Lambda = (\\Sigma^{-1} - (1-c) V^\\top Q^{-1} U)^{-1}.
+
+The preprocessing stores the dense per-block inverses of ``Q`` plus the
+dense factors ``U``, ``Vᵀ``, ``Λ`` — quadratic-ish in the block sizes,
+which is exactly why NB-LIN runs out of memory on the paper's larger
+datasets (Figure 1(a)).  Accuracy is limited by the low-rank truncation,
+matching its weak recall in Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import MemoryBudgetExceeded, ParameterError
+from repro.graph.graph import Graph
+from repro.graph.partition import partition_graph
+from repro.method import PPRMethod
+
+__all__ = ["NBLin"]
+
+
+class NBLin(PPRMethod):
+    """NB_LIN with label-propagation partitioning and truncated SVD.
+
+    Parameters
+    ----------
+    num_partitions:
+        Community count; defaults to ``max(4, round(sqrt(n) / 2))``.
+    rank:
+        Rank ``t`` of the cross-partition SVD; defaults to
+        ``min(100, n // 10)``.  The paper's setting uses drop tolerance 0,
+        i.e. the dense factors are stored in full.
+    drop_tolerance:
+        Entries of the stored factors with absolute value below this are
+        dropped (paper setting for NB-LIN: ``0``).
+    c:
+        Restart probability.
+    memory_budget_bytes:
+        Optional cap on preprocessed bytes; exceeding it raises
+        :class:`~repro.exceptions.MemoryBudgetExceeded` (emulates the
+        paper's 200 GB workstation limit).
+    seed:
+        RNG seed for the partitioner.
+    """
+
+    name = "NB_LIN"
+
+    def __init__(
+        self,
+        num_partitions: int | None = None,
+        rank: int | None = None,
+        drop_tolerance: float = 0.0,
+        c: float = 0.15,
+        memory_budget_bytes: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if drop_tolerance < 0:
+            raise ParameterError("drop_tolerance must be non-negative")
+        if not 0.0 < c < 1.0:
+            raise ParameterError("restart probability c must be in (0, 1)")
+        self.num_partitions = num_partitions
+        self.rank = rank
+        self.drop_tolerance = float(drop_tolerance)
+        self.c = float(c)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.seed = int(seed)
+
+        self._block_nodes: list[np.ndarray] = []
+        self._block_inverses: list[np.ndarray] = []
+        self._u: np.ndarray | None = None
+        self._vt: np.ndarray | None = None
+        self._lambda: np.ndarray | None = None
+
+    # -- preprocessing ------------------------------------------------------------
+
+    def _preprocess(self, graph: Graph) -> None:
+        n = graph.num_nodes
+        k = self.num_partitions or max(4, int(round(np.sqrt(n) / 2)))
+        k = min(k, n)
+        t = self.rank or min(100, max(2, n // 10))
+
+        labels = partition_graph(graph, k, seed=self.seed)
+
+        transition_t = graph.transition_transpose.tocoo()
+        same = labels[transition_t.row] == labels[transition_t.col]
+        w1_t = sp.csr_array(
+            (transition_t.data[same], (transition_t.row[same], transition_t.col[same])),
+            shape=(n, n),
+        )
+        w2_t = sp.csr_array(
+            (
+                transition_t.data[~same],
+                (transition_t.row[~same], transition_t.col[~same]),
+            ),
+            shape=(n, n),
+        )
+
+        # Dense inverse of Q = I - (1-c) W1^T, block by block.
+        self._block_nodes = [np.flatnonzero(labels == p) for p in range(k)]
+        self._block_nodes = [b for b in self._block_nodes if b.size]
+        self._block_inverses = []
+        budget_used = 0
+        for nodes in self._block_nodes:
+            block = np.eye(nodes.size) - (1.0 - self.c) * (
+                w1_t[nodes][:, nodes].toarray()
+            )
+            inverse = np.linalg.inv(block)
+            if self.drop_tolerance > 0:
+                inverse[np.abs(inverse) < self.drop_tolerance] = 0.0
+            self._block_inverses.append(inverse)
+            budget_used += inverse.nbytes
+            self._check_budget(budget_used)
+
+        # Low-rank factorization of the cross-partition part.
+        t = min(t, n - 2)
+        if w2_t.nnz == 0 or t < 1:
+            self._u = np.zeros((n, 1))
+            self._vt = np.zeros((1, n))
+            self._lambda = np.zeros((1, 1))
+        else:
+            # Deterministic start vector: svds defaults to a random one,
+            # which would make preprocessing non-reproducible.
+            v0 = np.random.default_rng(self.seed).random(n)
+            u, sigma, vt = spla.svds(w2_t.astype(np.float64), k=t, v0=v0)
+            nonzero = sigma > 1e-12
+            u, sigma, vt = u[:, nonzero], sigma[nonzero], vt[nonzero]
+            if sigma.size == 0:
+                self._u = np.zeros((n, 1))
+                self._vt = np.zeros((1, n))
+                self._lambda = np.zeros((1, 1))
+            else:
+                core = np.diag(1.0 / sigma) - (1.0 - self.c) * (
+                    vt @ self._apply_q_inverse(u)
+                )
+                self._u = np.ascontiguousarray(u)
+                self._vt = np.ascontiguousarray(vt)
+                self._lambda = np.linalg.inv(core)
+        self._check_budget(self.preprocessed_bytes())
+
+    def _check_budget(self, used: int) -> None:
+        if self.memory_budget_bytes is not None and used > self.memory_budget_bytes:
+            raise MemoryBudgetExceeded(self.name, used, self.memory_budget_bytes)
+
+    def preprocessed_bytes(self) -> int:
+        total = sum(inv.nbytes for inv in self._block_inverses)
+        total += sum(nodes.nbytes for nodes in self._block_nodes)
+        for factor in (self._u, self._vt, self._lambda):
+            if factor is not None:
+                total += factor.nbytes
+        return int(total)
+
+    # -- online phase ----------------------------------------------------------------
+
+    def _apply_q_inverse(self, x: np.ndarray) -> np.ndarray:
+        """Apply the block-diagonal ``Q^{-1}`` to a vector or matrix."""
+        result = np.zeros_like(x, dtype=np.float64)
+        for nodes, inverse in zip(self._block_nodes, self._block_inverses):
+            result[nodes] = inverse @ x[nodes]
+        return result
+
+    def _query(self, seed: int) -> np.ndarray:
+        if self._u is None or self._vt is None or self._lambda is None:
+            raise ParameterError("NB_LIN preprocessing did not complete")
+        n = self.graph.num_nodes
+        q = np.zeros(n)
+        q[seed] = self.c
+
+        base = self._apply_q_inverse(q)
+        correction = self._apply_q_inverse(
+            self._u @ (self._lambda @ (self._vt @ base))
+        )
+        return base + (1.0 - self.c) * correction

@@ -1,0 +1,98 @@
+"""RPPR — Restricted Personalized PageRank (Gleich & Polito, 2006).
+
+RPPR is the greedier sibling of BRPPR (the paper's Section IV-A sets the
+same ``10^{-4}`` expansion threshold "in RPPR and BRPPR").  Instead of
+alternating converged restricted solves with frontier expansions, RPPR
+grows the active set *during* the iteration: whenever an inactive vertex
+accumulates more than the expansion threshold of rank, it is activated
+immediately and starts propagating on the next sweep.  One pass to
+convergence therefore suffices.
+
+Compared with BRPPR it does less total work (no re-solves) but offers a
+weaker handle on the final frontier mass — the same trade the original
+authors describe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.method import PPRMethod
+
+__all__ = ["RPPR"]
+
+
+class RPPR(PPRMethod):
+    """Restricted PPR with on-the-fly vertex activation.
+
+    Parameters
+    ----------
+    expand_threshold:
+        An inactive vertex is activated once its accumulated rank exceeds
+        this (paper setting: ``1e-4``).
+    c:
+        Restart probability.
+    tol:
+        Convergence tolerance on the active interim mass.
+    max_sweeps:
+        Safety cap on propagation sweeps.
+    """
+
+    name = "RPPR"
+
+    def __init__(
+        self,
+        expand_threshold: float = 1e-4,
+        c: float = 0.15,
+        tol: float = 1e-9,
+        max_sweeps: int = 10_000,
+    ):
+        super().__init__()
+        if expand_threshold <= 0:
+            raise ParameterError("expand_threshold must be positive")
+        if not 0.0 < c < 1.0:
+            raise ParameterError("restart probability c must be in (0, 1)")
+        if tol <= 0:
+            raise ParameterError("tol must be positive")
+        self.expand_threshold = float(expand_threshold)
+        self.c = float(c)
+        self.tol = float(tol)
+        self.max_sweeps = int(max_sweeps)
+        self.last_active_size: int = 0
+
+    def _preprocess(self, graph: Graph) -> None:
+        pass  # online-only, like BRPPR
+
+    def preprocessed_bytes(self) -> int:
+        return 0
+
+    def _query(self, seed: int) -> np.ndarray:
+        graph = self.graph
+        n = graph.num_nodes
+        active = np.zeros(n, dtype=bool)
+        active[seed] = True
+
+        scores = np.zeros(n)
+        x = np.zeros(n)
+        x[seed] = self.c
+        scores += x
+        # Rank parked on inactive vertices waits (is not propagated) until
+        # the vertex activates; it then re-enters the flow.
+        parked = np.zeros(n)
+
+        for _ in range(self.max_sweeps):
+            inside = np.where(active, x + parked, 0.0)
+            parked = np.where(active, 0.0, parked + x)
+            if float(inside.sum()) < self.tol:
+                break
+            x = (1.0 - self.c) * graph.propagate(inside)
+            scores += x
+            # Activate vertices whose accumulated rank crossed the bar.
+            newly = (~active) & (scores > self.expand_threshold)
+            if newly.any():
+                active |= newly
+
+        self.last_active_size = int(active.sum())
+        return scores

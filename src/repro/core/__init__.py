@@ -1,0 +1,46 @@
+"""The paper's primary contribution: CPI and the two-phase TPA method.
+
+* :mod:`~repro.core.cpi` — Cumulative Power Iteration (Algorithm 1), the
+  score-propagation interpretation of RWR/PageRank.
+* :mod:`~repro.core.tpa` — the TPA method: stranger approximation in the
+  preprocessing phase (Algorithm 2) and family computation plus neighbor
+  approximation in the online phase (Algorithm 3).
+* :mod:`~repro.core.bounds` — the closed-form accuracy bounds of Lemmas
+  1–3 and Theorem 2, and the exact part norms of Lemma 2.
+* :mod:`~repro.core.parameters` — helpers for choosing ``S`` and ``T``
+  (Section III-C).
+"""
+
+from repro.core.cpi import CPIResult, cpi, cpi_parts
+from repro.core.tpa import TPA, TPAParts
+from repro.core.bounds import (
+    family_norm,
+    neighbor_norm,
+    stranger_norm,
+    neighbor_bound,
+    stranger_bound,
+    total_bound,
+    convergence_iterations,
+    neighbor_scale,
+)
+from repro.core.parameters import select_parameters, ParameterSweepPoint, sweep_s, sweep_t
+
+__all__ = [
+    "CPIResult",
+    "cpi",
+    "cpi_parts",
+    "TPA",
+    "TPAParts",
+    "family_norm",
+    "neighbor_norm",
+    "stranger_norm",
+    "neighbor_bound",
+    "stranger_bound",
+    "total_bound",
+    "convergence_iterations",
+    "neighbor_scale",
+    "select_parameters",
+    "ParameterSweepPoint",
+    "sweep_s",
+    "sweep_t",
+]

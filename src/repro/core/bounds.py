@@ -1,0 +1,95 @@
+"""Closed-form norms and accuracy bounds from Section III of the paper.
+
+All quantities are exact consequences of column stochasticity:
+``‖x(i)‖₁ = c (1-c)^i`` for any seed vector, hence the part norms of
+Lemma 2 and the geometric error bounds of Lemmas 1 and 3 and Theorem 2.
+These functions feed Table III (actual error vs theoretical bound) and the
+property-based tests that assert the bounds hold on every generated graph.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "family_norm",
+    "neighbor_norm",
+    "stranger_norm",
+    "neighbor_scale",
+    "stranger_bound",
+    "neighbor_bound",
+    "total_bound",
+    "convergence_iterations",
+]
+
+
+def _check_c(c: float) -> None:
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"restart probability c must be in (0, 1); got {c}")
+
+
+def _check_st(s_iteration: int, t_iteration: int) -> None:
+    if s_iteration < 1:
+        raise ParameterError("S must be at least 1")
+    if t_iteration < s_iteration:
+        raise ParameterError("T must be at least S (T == S means an empty neighbor part)")
+
+
+def family_norm(c: float, s_iteration: int) -> float:
+    """``‖r_family‖₁ = 1 − (1−c)^S`` (Lemma 2)."""
+    _check_c(c)
+    if s_iteration < 1:
+        raise ParameterError("S must be at least 1")
+    return 1.0 - (1.0 - c) ** s_iteration
+
+
+def neighbor_norm(c: float, s_iteration: int, t_iteration: int) -> float:
+    """``‖r_neighbor‖₁ = (1−c)^S − (1−c)^T`` (Lemma 2)."""
+    _check_c(c)
+    _check_st(s_iteration, t_iteration)
+    return (1.0 - c) ** s_iteration - (1.0 - c) ** t_iteration
+
+
+def stranger_norm(c: float, t_iteration: int) -> float:
+    """``‖r_stranger‖₁ = (1−c)^T`` (geometric tail of Lemma 2)."""
+    _check_c(c)
+    if t_iteration < 1:
+        raise ParameterError("T must be at least 1")
+    return (1.0 - c) ** t_iteration
+
+
+def neighbor_scale(c: float, s_iteration: int, t_iteration: int) -> float:
+    """The neighbor-approximation scaling factor
+    ``‖r_neighbor‖₁ / ‖r_family‖₁`` (Algorithm 3, line 3)."""
+    return neighbor_norm(c, s_iteration, t_iteration) / family_norm(c, s_iteration)
+
+
+def stranger_bound(c: float, t_iteration: int) -> float:
+    """Lemma 1: ``‖r_stranger − r̃_stranger‖₁ ≤ 2 (1−c)^T``."""
+    return 2.0 * stranger_norm(c, t_iteration)
+
+
+def neighbor_bound(c: float, s_iteration: int, t_iteration: int) -> float:
+    """Lemma 3: ``‖r_neighbor − r̃_neighbor‖₁ ≤ 2(1−c)^S − 2(1−c)^T``."""
+    return 2.0 * neighbor_norm(c, s_iteration, t_iteration)
+
+
+def total_bound(c: float, s_iteration: int) -> float:
+    """Theorem 2: ``‖r_CPI − r_TPA‖₁ ≤ 2 (1−c)^S``."""
+    _check_c(c)
+    if s_iteration < 1:
+        raise ParameterError("S must be at least 1")
+    return 2.0 * (1.0 - c) ** s_iteration
+
+
+def convergence_iterations(c: float, tol: float) -> int:
+    """Iterations CPI needs so that ``‖x(i)‖₁ = c(1−c)^i < tol``
+    (Lemma 4's ``log_{1-c}(ε/c)``), rounded up."""
+    _check_c(c)
+    if tol <= 0.0:
+        raise ParameterError("tolerance must be positive")
+    if tol >= c:
+        return 0
+    return int(math.ceil(math.log(tol / c) / math.log(1.0 - c)))

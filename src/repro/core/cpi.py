@@ -1,0 +1,250 @@
+r"""Cumulative Power Iteration (CPI) — Algorithm 1 of the paper.
+
+CPI interprets RWR as propagation of scores: a mass of ``c`` starts on the
+seed node(s); each step propagates the current interim vector through the
+column-stochastic operator ``Ã^T`` with decay ``1-c``:
+
+.. math::
+
+    x^{(0)} = c\,q, \qquad
+    x^{(i)} = (1-c)\,\tilde{A}^\top x^{(i-1)}, \qquad
+    r_{CPI} = \sum_{i=0}^{\infty} x^{(i)}.
+
+With the seed vector ``q = e_s`` this converges to the RWR vector of seed
+``s``; with ``q = 1/n`` it converges to PageRank (Theorem 1).  The
+``start_iteration`` / ``terminal_iteration`` window sums only the requested
+slice of the series, which is exactly what TPA needs to separate the family,
+neighbor, and stranger parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["CPIResult", "cpi", "cpi_parts", "cpi_iterates", "seed_vector"]
+
+#: Hard cap on iterations; at c=0.15, tol=1e-9 convergence needs ~116.
+_MAX_ITERATIONS_DEFAULT = 100_000
+
+
+@dataclass(frozen=True)
+class CPIResult:
+    """Outcome of a CPI run.
+
+    Attributes
+    ----------
+    scores:
+        The accumulated score vector over the requested iteration window.
+    iterations:
+        Index of the last interim vector computed (``0`` means only
+        ``x(0)`` was formed).
+    converged:
+        True when the run stopped because ``‖x(i)‖₁ < tol`` rather than by
+        hitting ``terminal_iteration``.
+    residual_norm:
+        ``‖x(i)‖₁`` of the last interim vector — the geometric tail bound
+        on everything not yet accumulated.
+    """
+
+    scores: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norm: float
+
+
+def seed_vector(graph: Graph, seeds: int | Sequence[int] | None) -> np.ndarray:
+    """Build the seed distribution ``q`` (Algorithm 1, line 1).
+
+    ``seeds`` may be a single node (RWR), a sequence of nodes (personalized
+    PageRank with uniform mass over them), or ``None`` for all nodes
+    (global PageRank).
+    """
+    n = graph.num_nodes
+    q = np.zeros(n, dtype=np.float64)
+    if seeds is None:
+        q[:] = 1.0 / n
+        return q
+    if isinstance(seeds, (int, np.integer)):
+        seeds_arr = np.asarray([int(seeds)], dtype=np.int64)
+    else:
+        seeds_arr = np.asarray(list(seeds), dtype=np.int64)
+        if seeds_arr.size == 0:
+            raise ParameterError("seed set must not be empty")
+    if seeds_arr.min() < 0 or seeds_arr.max() >= n:
+        raise ParameterError(
+            f"seed ids must lie in [0, {n - 1}]; got {seeds_arr.tolist()[:5]}"
+        )
+    q[seeds_arr] = 1.0 / seeds_arr.size
+    return q
+
+
+def _validate(c: float, tol: float, start_iteration: int) -> None:
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"restart probability c must be in (0, 1); got {c}")
+    if tol <= 0.0:
+        raise ParameterError(f"convergence tolerance must be positive; got {tol}")
+    if start_iteration < 0:
+        raise ParameterError("start_iteration must be non-negative")
+
+
+def cpi(
+    graph: Graph,
+    seeds: int | Sequence[int] | None,
+    c: float = 0.15,
+    tol: float = 1e-9,
+    start_iteration: int = 0,
+    terminal_iteration: int | None = None,
+    max_iterations: int = _MAX_ITERATIONS_DEFAULT,
+) -> CPIResult:
+    """Run CPI and accumulate iterations ``start_iteration..terminal_iteration``.
+
+    Parameters
+    ----------
+    graph:
+        Input graph supplying the stochastic operator.
+    seeds:
+        Seed node, seed set, or ``None`` for PageRank.
+    c:
+        Restart probability (paper default 0.15).
+    tol:
+        Convergence tolerance ``ε``: stop once ``‖x(i)‖₁ < ε``.
+    start_iteration:
+        First iteration index accumulated into the result (``siter``).
+    terminal_iteration:
+        Last iteration index accumulated (``titer``); ``None`` means run to
+        convergence (the paper's ``∞``).
+    max_iterations:
+        Safety cap; exceeding it raises
+        :class:`~repro.exceptions.ConvergenceError`.
+
+    Returns
+    -------
+    CPIResult
+
+    Notes
+    -----
+    Exact RWR is ``cpi(graph, s)``; exact PageRank is ``cpi(graph, None)``.
+    The family part of TPA is ``cpi(graph, s, start_iteration=0,
+    terminal_iteration=S - 1)`` and the stranger part of PageRank is
+    ``cpi(graph, None, start_iteration=T)``.
+    """
+    _validate(c, tol, start_iteration)
+    if terminal_iteration is not None and terminal_iteration < start_iteration:
+        raise ParameterError(
+            "terminal_iteration must be >= start_iteration "
+            f"({terminal_iteration} < {start_iteration})"
+        )
+
+    q = seed_vector(graph, seeds)
+    x = c * q
+    scores = np.zeros_like(x)
+    if start_iteration == 0:
+        scores += x
+
+    iteration = 0
+    converged = False
+    residual = float(np.abs(x).sum())
+    if residual < tol:
+        converged = True
+
+    while not converged:
+        if terminal_iteration is not None and iteration >= terminal_iteration:
+            break
+        if iteration >= max_iterations:
+            raise ConvergenceError(
+                f"CPI did not converge within {max_iterations} iterations "
+                f"(residual {residual:.3e}, tol {tol:.3e})"
+            )
+        iteration += 1
+        x = (1.0 - c) * graph.propagate(x)
+        if iteration >= start_iteration:
+            scores += x
+        residual = float(np.abs(x).sum())
+        if residual < tol:
+            converged = True
+
+    return CPIResult(
+        scores=scores,
+        iterations=iteration,
+        converged=converged,
+        residual_norm=residual,
+    )
+
+
+def cpi_parts(
+    graph: Graph,
+    seeds: int | Sequence[int] | None,
+    s_iteration: int,
+    t_iteration: int,
+    c: float = 0.15,
+    tol: float = 1e-9,
+    max_iterations: int = _MAX_ITERATIONS_DEFAULT,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the family / neighbor / stranger parts in a single pass.
+
+    Returns the triple ``(r_family, r_neighbor, r_stranger)`` where
+
+    * family   accumulates ``x(0) .. x(S-1)``,
+    * neighbor accumulates ``x(S) .. x(T-1)``,
+    * stranger accumulates ``x(T) ..`` until convergence.
+
+    One propagation sweep serves all three, so experiments that need exact
+    per-part errors (Table III, Figure 9) avoid three separate CPI runs.
+    """
+    if s_iteration < 1:
+        raise ParameterError("S must be at least 1 so the family part is non-empty")
+    if t_iteration < s_iteration:
+        raise ParameterError(
+            "T must be at least S (T == S means an empty neighbor part)"
+        )
+    _validate(c, tol, 0)
+
+    q = seed_vector(graph, seeds)
+    x = c * q
+    family = x.copy()
+    neighbor = np.zeros_like(x)
+    stranger = np.zeros_like(x)
+
+    iteration = 0
+    residual = float(np.abs(x).sum())
+    while residual >= tol:
+        if iteration >= max_iterations:
+            raise ConvergenceError(
+                f"cpi_parts did not converge within {max_iterations} iterations"
+            )
+        iteration += 1
+        x = (1.0 - c) * graph.propagate(x)
+        if iteration < s_iteration:
+            family += x
+        elif iteration < t_iteration:
+            neighbor += x
+        else:
+            stranger += x
+        residual = float(np.abs(x).sum())
+
+    return family, neighbor, stranger
+
+
+def cpi_iterates(
+    graph: Graph,
+    seeds: int | Sequence[int] | None,
+    c: float = 0.15,
+    max_iterations: int = 64,
+) -> Iterator[np.ndarray]:
+    """Yield the interim vectors ``x(0), x(1), ...`` (at most
+    ``max_iterations + 1`` of them).
+
+    Used by the matrix-power analyses behind Figures 3, 4 and 6.
+    """
+    _validate(c, 1e-300, 0)
+    x = c * seed_vector(graph, seeds)
+    yield x.copy()
+    for _ in range(max_iterations):
+        x = (1.0 - c) * graph.propagate(x)
+        yield x.copy()

@@ -1,0 +1,222 @@
+"""Choosing the TPA parameters ``S`` and ``T`` (Section III-C).
+
+The paper tunes ``S`` and ``T`` per dataset: ``S`` trades online time
+against accuracy (Theorem 2 bounds the error by ``2(1-c)^S``), while the
+total error is U-shaped in ``T`` — too small and the seed-agnostic
+PageRank tail swallows nearby nodes, too large and the neighbor
+approximation extrapolates the family part across community boundaries.
+
+Two tools are provided:
+
+* :func:`select_parameters` — a cheap, bound-driven default: the smallest
+  ``S`` meeting a target error bound, and ``T`` picked by a short measured
+  sweep on a few sample seeds.
+* :func:`sweep_s` / :func:`sweep_t` — the measured sweeps behind
+  Figures 8 and 9.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.bounds import neighbor_scale
+from repro.core.cpi import cpi, cpi_parts
+from repro.core.tpa import TPA
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["ParameterSweepPoint", "sweep_s", "sweep_t", "select_parameters"]
+
+
+@dataclass(frozen=True)
+class ParameterSweepPoint:
+    """One point of an S- or T-sweep.
+
+    Attributes
+    ----------
+    value:
+        The swept parameter value (``S`` or ``T``).
+    online_seconds:
+        Mean online wall-clock time per query (S-sweeps only; ``nan`` for
+        T-sweeps, where the online cost does not depend on ``T``).
+    l1_error:
+        Mean L1 distance between the TPA estimate and exact CPI.
+    neighbor_error:
+        Mean ``‖r_neighbor − r̃_neighbor‖₁`` ("NA" curve of Figure 9).
+    stranger_error:
+        Mean ``‖r_stranger − r̃_stranger‖₁`` ("SA" curve of Figure 9).
+    """
+
+    value: int
+    online_seconds: float
+    l1_error: float
+    neighbor_error: float
+    stranger_error: float
+
+
+def _sample_seeds(graph: Graph, num_seeds: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.choice(graph.num_nodes, size=min(num_seeds, graph.num_nodes),
+                      replace=False)
+
+
+def _part_errors(
+    graph: Graph,
+    query_seed: int,
+    s_iteration: int,
+    t_iteration: int,
+    stranger_estimate: np.ndarray,
+    c: float,
+    tol: float,
+) -> tuple[float, float, float]:
+    """Exact per-part errors for one seed: (neighbor, stranger, total)."""
+    family, neighbor, stranger = cpi_parts(
+        graph, query_seed, s_iteration, t_iteration, c=c, tol=tol
+    )
+    scale = neighbor_scale(c, s_iteration, t_iteration)
+    neighbor_estimate = scale * family
+    approx = family + neighbor_estimate + stranger_estimate
+    exact = family + neighbor + stranger
+    return (
+        float(np.abs(neighbor - neighbor_estimate).sum()),
+        float(np.abs(stranger - stranger_estimate).sum()),
+        float(np.abs(exact - approx).sum()),
+    )
+
+
+def sweep_s(
+    graph: Graph,
+    s_values: Sequence[int],
+    t_iteration: int,
+    c: float = 0.15,
+    tol: float = 1e-9,
+    num_seeds: int = 10,
+    rng_seed: int = 0,
+) -> list[ParameterSweepPoint]:
+    """Measure online time and L1 error as ``S`` varies (Figure 8 workload).
+
+    ``T`` is held fixed (the paper fixes it to 10).
+    """
+    seeds = _sample_seeds(graph, num_seeds, rng_seed)
+    points = []
+    for s_value in s_values:
+        if s_value >= t_iteration:
+            raise ParameterError(f"S={s_value} must stay below T={t_iteration}")
+        method = TPA(s_iteration=s_value, t_iteration=t_iteration, c=c, tol=tol)
+        method.preprocess(graph)
+        times = []
+        l1_errors = []
+        na_errors = []
+        sa_errors = []
+        for query_seed in seeds:
+            begin = time.perf_counter()
+            method.query(int(query_seed))
+            times.append(time.perf_counter() - begin)
+            na, sa, total = _part_errors(
+                graph, int(query_seed), s_value, t_iteration,
+                method.stranger_vector, c, tol,
+            )
+            na_errors.append(na)
+            sa_errors.append(sa)
+            l1_errors.append(total)
+        points.append(
+            ParameterSweepPoint(
+                value=int(s_value),
+                online_seconds=float(np.mean(times)),
+                l1_error=float(np.mean(l1_errors)),
+                neighbor_error=float(np.mean(na_errors)),
+                stranger_error=float(np.mean(sa_errors)),
+            )
+        )
+    return points
+
+
+def sweep_t(
+    graph: Graph,
+    t_values: Sequence[int],
+    s_iteration: int = 5,
+    c: float = 0.15,
+    tol: float = 1e-9,
+    num_seeds: int = 10,
+    rng_seed: int = 0,
+) -> list[ParameterSweepPoint]:
+    """Measure NA / SA / total L1 errors as ``T`` varies (Figure 9 workload).
+
+    ``S`` is held fixed (the paper fixes it to 5).
+    """
+    seeds = _sample_seeds(graph, num_seeds, rng_seed)
+    points = []
+    for t_value in t_values:
+        if t_value < s_iteration:
+            raise ParameterError(f"T={t_value} must be at least S={s_iteration}")
+        stranger_estimate = cpi(
+            graph, None, c=c, tol=tol, start_iteration=t_value
+        ).scores
+        na_errors = []
+        sa_errors = []
+        l1_errors = []
+        for query_seed in seeds:
+            na, sa, total = _part_errors(
+                graph, int(query_seed), s_iteration, t_value,
+                stranger_estimate, c, tol,
+            )
+            na_errors.append(na)
+            sa_errors.append(sa)
+            l1_errors.append(total)
+        points.append(
+            ParameterSweepPoint(
+                value=int(t_value),
+                online_seconds=float("nan"),
+                l1_error=float(np.mean(l1_errors)),
+                neighbor_error=float(np.mean(na_errors)),
+                stranger_error=float(np.mean(sa_errors)),
+            )
+        )
+    return points
+
+
+def select_parameters(
+    graph: Graph,
+    target_error: float = 0.3,
+    c: float = 0.15,
+    tol: float = 1e-9,
+    t_candidates: Sequence[int] | None = None,
+    num_seeds: int = 5,
+    rng_seed: int = 0,
+) -> tuple[int, int]:
+    """Pick ``(S, T)`` for a graph.
+
+    ``S`` is the smallest value whose Theorem-2 bound ``2(1-c)^S`` is below
+    ``target_error``; ``T`` minimizes the measured total L1 error over
+    ``t_candidates`` (default ``{S+1, S+2, S+5, S+10, S+15}``) on a few
+    random seeds, mirroring how the paper tunes Table II per dataset.
+    """
+    if target_error <= 0 or target_error >= 2:
+        raise ParameterError("target_error must be in (0, 2)")
+    s_iteration = max(
+        1, int(math.ceil(math.log(target_error / 2.0) / math.log(1.0 - c)))
+    )
+    if t_candidates is None:
+        t_candidates = [
+            s_iteration + 1,
+            s_iteration + 2,
+            s_iteration + 5,
+            s_iteration + 10,
+            s_iteration + 15,
+        ]
+    points = sweep_t(
+        graph,
+        t_candidates,
+        s_iteration=s_iteration,
+        c=c,
+        tol=tol,
+        num_seeds=num_seeds,
+        rng_seed=rng_seed,
+    )
+    best = min(points, key=lambda p: p.l1_error)
+    return s_iteration, int(best.value)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge-list file or in-memory edge structure is malformed."""
+
+
+class DanglingNodeError(ReproError):
+    """A graph contains nodes with zero out-degree and the chosen
+    normalization policy forbids them."""
+
+
+class NotPreprocessedError(ReproError):
+    """A two-phase method was queried before :meth:`preprocess` ran."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """Preprocessed data exceeded the configured memory budget.
+
+    Mirrors the paper's 200 GB workstation cap under which BEAR-APPROX and
+    NB-LIN fail on the larger datasets (Section IV-A2).
+    """
+
+    def __init__(self, method: str, required_bytes: int, budget_bytes: int):
+        self.method = method
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(
+            f"{method} requires {required_bytes} bytes of preprocessed data "
+            f"which exceeds the memory budget of {budget_bytes} bytes"
+        )
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration cap."""
+
+
+class ParameterError(ReproError):
+    """An algorithm parameter is outside its valid domain."""

@@ -1,0 +1,86 @@
+"""Command-line entry point for the experiment harness.
+
+Examples
+--------
+::
+
+    python -m repro.experiments --list
+    python -m repro.experiments table2 fig6
+    python -m repro.experiments all --seeds 30 --markdown results.md
+    python -m repro.experiments fig1 --datasets slashdot google --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (or 'all'); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (default 1.0)")
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="random query seeds per dataset (paper: 30)")
+    parser.add_argument("--hubppr-seeds", type=int, default=2,
+                        help="seeds for HubPPR online measurements")
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        help="restrict to these datasets")
+    parser.add_argument("--markdown", metavar="PATH", default=None,
+                        help="append markdown tables to this file")
+    parser.add_argument("--rng-seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    if not args.experiments:
+        print("no experiments given; try --list", file=sys.stderr)
+        return 2
+
+    ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    config = ExperimentConfig(
+        scale=args.scale,
+        num_seeds=args.seeds,
+        hubppr_seeds=args.hubppr_seeds,
+        rng_seed=args.rng_seed,
+        **({"datasets": tuple(args.datasets)} if args.datasets else {}),
+    )
+
+    markdown_chunks: list[str] = []
+    for experiment_id in ids:
+        begin = time.perf_counter()
+        results = run_experiment(experiment_id, config)
+        elapsed = time.perf_counter() - begin
+        for result in results:
+            print(result.to_text())
+            markdown_chunks.append(result.to_markdown())
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+
+    if args.markdown:
+        with open(args.markdown, "a", encoding="utf-8") as handle:
+            handle.write("".join(markdown_chunks))
+        print(f"markdown appended to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""Ablation study — what each of TPA's two approximations contributes.
+
+Not a paper figure, but the paper's Section IV-C claims the two
+approximations *compensate* each other ("TPA compensates the weak points
+of each approximation successfully").  This experiment makes that claim
+falsifiable by comparing, per dataset:
+
+* **TPA** — family + scaled-family neighbor + PageRank-tail stranger;
+* **no-NA** — the neighbor approximation removed: the PageRank tail is
+  started at ``S`` and covers iterations ``S..∞`` (equivalent to TPA with
+  ``T = S``);
+* **no-SA** — the stranger approximation removed: the family part is
+  rescaled to carry the *entire* tail mass ``(1-c)^S`` (pure family
+  extrapolation, no PageRank).
+
+Expected shape: full TPA has lower L1 error than both ablations on
+community-structured graphs *when T is tuned*.  On these scaled-down
+analogs random walks mix much faster than on the paper's billion-edge
+graphs, so the useful neighbor window is narrow — the driver therefore
+reports TPA both at the Table II ``T`` and at the locally tuned
+``T = S + 1``, and the assertion targets the tuned setting (see the
+Figure 9 discussion in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import family_norm, stranger_norm
+from repro.core.cpi import cpi
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentResult
+from repro.graph.datasets import DATASETS, load_dataset
+
+__all__ = ["run", "ablation_errors"]
+
+_C = 0.15
+_TOL = 1e-9
+
+
+def ablation_errors(
+    graph, s_iteration: int, t_iteration: int, seeds: np.ndarray
+) -> tuple[float, float, float]:
+    """Mean L1 errors of (TPA, no-NA, no-SA) over ``seeds``."""
+    tail_from_t = cpi(graph, None, c=_C, tol=_TOL, start_iteration=t_iteration).scores
+    tail_from_s = cpi(graph, None, c=_C, tol=_TOL, start_iteration=s_iteration).scores
+
+    neighbor_scale_value = (
+        (1 - _C) ** s_iteration - (1 - _C) ** t_iteration
+    ) / family_norm(_C, s_iteration)
+    # no-SA: the family part carries all tail mass (1-c)^S.
+    full_tail_scale = stranger_norm(_C, s_iteration) / family_norm(_C, s_iteration)
+
+    tpa_errors, no_na_errors, no_sa_errors = [], [], []
+    for seed in seeds:
+        exact = cpi(graph, int(seed), c=_C, tol=1e-12).scores
+        family = cpi(
+            graph, int(seed), c=_C, terminal_iteration=s_iteration - 1
+        ).scores
+
+        tpa = family + neighbor_scale_value * family + tail_from_t
+        no_na = family + tail_from_s
+        no_sa = family + full_tail_scale * family
+
+        tpa_errors.append(float(np.abs(exact - tpa).sum()))
+        no_na_errors.append(float(np.abs(exact - no_na).sum()))
+        no_sa_errors.append(float(np.abs(exact - no_sa).sum()))
+    return (
+        float(np.mean(tpa_errors)),
+        float(np.mean(no_na_errors)),
+        float(np.mean(no_sa_errors)),
+    )
+
+
+def run(config: ExperimentConfig) -> list[ExperimentResult]:
+    table = ExperimentResult(
+        "ablation",
+        "Ablation: L1 error of TPA vs single-approximation variants",
+        [
+            "dataset",
+            "TPA (Table II T)",
+            "TPA (tuned T=S+1)",
+            "no neighbor approx",
+            "no stranger approx",
+        ],
+    )
+    rng = np.random.default_rng(config.rng_seed)
+    for dataset in config.datasets:
+        spec = DATASETS[dataset]
+        graph = load_dataset(dataset, scale=config.scale)
+        seeds = rng.choice(graph.num_nodes, size=config.num_seeds, replace=False)
+        tpa_paper_t, no_na, no_sa = ablation_errors(
+            graph, spec.s_iteration, spec.t_iteration, seeds
+        )
+        tpa_tuned, _, _ = ablation_errors(
+            graph, spec.s_iteration, spec.s_iteration + 1, seeds
+        )
+        table.add_row(dataset, tpa_paper_t, tpa_tuned, no_na, no_sa)
+    table.add_note(
+        "no-NA = PageRank tail from S (T = S); no-SA = family extrapolated "
+        f"over the whole tail. {config.num_seeds} seeds, c = {_C}. On these "
+        "fast-mixing analogs the tuned T sits near S (Figure 9's minimum "
+        "shifts left at reduced scale)."
+    )
+    return [table]

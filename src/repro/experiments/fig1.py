@@ -1,0 +1,95 @@
+"""Figure 1 — headline comparison: preprocessed-data size (a),
+preprocessing time (b), and online time (c) for all methods × datasets.
+
+Expected shape (paper): TPA stores the least preprocessed data and has the
+fastest preprocessing and online phases; BEAR-APPROX and NB-LIN exhaust the
+memory budget on the larger datasets (rendered ``OOM``); FORA preprocesses
+fast but stores a large walk index; HubPPR's whole-vector online phase is
+the slowest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MemoryBudgetExceeded
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import METHOD_ORDER, PREPROCESSING_METHODS, build_suite
+from repro.experiments.reporting import ExperimentResult
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.metrics.memory import format_bytes
+from repro.metrics.timing import Timer
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig) -> list[ExperimentResult]:
+    """Run the Figure 1 comparison; returns tables for (a), (b) and (c)."""
+    size_table = ExperimentResult(
+        "fig1a",
+        "Size of preprocessed data (Figure 1(a))",
+        ["dataset"] + PREPROCESSING_METHODS,
+    )
+    prep_table = ExperimentResult(
+        "fig1b",
+        "Preprocessing time, seconds (Figure 1(b))",
+        ["dataset"] + PREPROCESSING_METHODS,
+    )
+    online_table = ExperimentResult(
+        "fig1c",
+        "Online time per query, median seconds (Figure 1(c))",
+        ["dataset"] + METHOD_ORDER,
+    )
+
+    rng = np.random.default_rng(config.rng_seed)
+    for dataset in config.datasets:
+        spec = DATASETS[dataset]
+        graph = load_dataset(dataset, scale=config.scale)
+        seeds = rng.choice(graph.num_nodes, size=config.num_seeds, replace=False)
+        suite = build_suite(spec, config)
+
+        size_row: list[object] = [dataset]
+        prep_row: list[object] = [dataset]
+        online_row: list[object] = [dataset]
+        for name in METHOD_ORDER:
+            method = suite[name]
+            try:
+                with Timer() as prep_timer:
+                    method.preprocess(graph)
+            except MemoryBudgetExceeded:
+                if name in PREPROCESSING_METHODS:
+                    size_row.append("OOM")
+                    prep_row.append("OOM")
+                online_row.append("OOM")
+                continue
+
+            if name in PREPROCESSING_METHODS:
+                size_row.append(format_bytes(method.preprocessed_bytes()))
+                prep_row.append(prep_timer.seconds)
+
+            query_seeds = seeds
+            if name == "HubPPR":
+                query_seeds = seeds[: config.hubppr_seeds]
+            samples = []
+            for seed in query_seeds:
+                with Timer() as query_timer:
+                    method.query(int(seed))
+                samples.append(query_timer.seconds)
+            online_row.append(float(np.median(samples)))
+
+        size_table.rows.append(size_row)
+        prep_table.rows.append(prep_row)
+        online_table.rows.append(online_row)
+
+    budget = format_bytes(config.memory_budget_bytes)
+    for table in (size_table, prep_table, online_table):
+        table.add_note(
+            f"OOM = preprocessed data exceeded the scaled memory budget "
+            f"({budget}); mirrors the paper's omitted bars under its 200 GB cap."
+        )
+    online_table.add_note(
+        f"HubPPR timed over {config.hubppr_seeds} seed(s), other methods over "
+        f"{config.num_seeds}; medians reported."
+    )
+    online_table.add_note("BRPPR has no preprocessing phase (online-only).")
+    return [size_table, prep_table, online_table]

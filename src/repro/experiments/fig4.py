@@ -1,0 +1,51 @@
+"""Figure 4 — nonzeros and the column-difference statistic ``C_i``.
+
+On Slashdot and Google: as ``i`` grows, ``nnz((Ãᵀ)^i)`` increases while
+``C_i = (1/n) Σ_{j≠s} ‖c_s − c_j‖₁`` decreases — the empirical reason the
+stranger approximation beats its Lemma 1 bound in practice.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.matrix_power import column_difference_statistic, matrix_power_nnz
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentResult
+from repro.graph.datasets import load_dataset
+
+__all__ = ["run"]
+
+_POWERS = [1, 3, 5, 7]
+_DATASETS = ("slashdot", "google")
+
+
+def run(config: ExperimentConfig) -> list[ExperimentResult]:
+    nnz_table = ExperimentResult(
+        "fig4a",
+        "Nonzeros in (A~^T)^i (Figure 4(a))",
+        ["power i"] + list(_DATASETS),
+    )
+    ci_table = ExperimentResult(
+        "fig4b",
+        "Column-difference statistic C_i (Figure 4(b))",
+        ["power i"] + list(_DATASETS),
+    )
+
+    nnz_by_dataset = {}
+    ci_by_dataset = {}
+    for dataset in _DATASETS:
+        graph = load_dataset(dataset, scale=config.scale)
+        nnz_by_dataset[dataset] = matrix_power_nnz(graph, _POWERS)
+        ci_by_dataset[dataset] = column_difference_statistic(
+            graph, _POWERS, num_seeds=config.num_seeds, rng=config.rng_seed
+        )
+
+    for power in _POWERS:
+        nnz_table.add_row(power, *[nnz_by_dataset[d][power] for d in _DATASETS])
+        ci_table.add_row(power, *[ci_by_dataset[d][power] for d in _DATASETS])
+
+    ci_table.add_note(
+        f"C_i averaged over {config.num_seeds} random seed columns "
+        "(paper: 30); expected shape: C_i decreases toward 0 as i grows, "
+        "far below its worst case of 2."
+    )
+    return [nnz_table, ci_table]

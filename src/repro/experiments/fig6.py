@@ -1,0 +1,42 @@
+"""Figure 6 — ``‖Ā^S f − f‖₁`` on real-analog vs random graphs.
+
+Expected shape (paper): the drift is substantially lower on graphs with
+block-wise community structure than on edge-count-matched random graphs,
+across all datasets — the empirical basis of the neighbor approximation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.blockwise import family_drift_comparison
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentResult
+from repro.graph.datasets import DATASETS, load_dataset
+
+__all__ = ["run"]
+
+#: The paper's Figure 6 uses the five smaller datasets.
+_DATASETS = ("slashdot", "google", "pokec", "livejournal", "wikilink")
+_S = 5
+
+
+def run(config: ExperimentConfig) -> list[ExperimentResult]:
+    table = ExperimentResult(
+        "fig6",
+        "Family drift ||A^S f - f||_1: real analog vs random graph (Figure 6)",
+        ["dataset", "real graph", "random graph", "ratio"],
+    )
+    datasets = [d for d in config.datasets if d in _DATASETS] or list(_DATASETS)
+    for dataset in datasets:
+        graph = load_dataset(dataset, scale=config.scale)
+        real, random_drift = family_drift_comparison(
+            graph,
+            s_iteration=_S,
+            num_seeds=config.num_seeds,
+            rng=config.rng_seed,
+        )
+        table.add_row(dataset, real, random_drift, f"{random_drift / real:.2f}x")
+    table.add_note(
+        f"S = {_S}, c = 0.15, {config.num_seeds} random seeds (paper: 30); "
+        "worst-case drift is 2(1-(1-c)^S) = 1.11. Expected: real < random."
+    )
+    return [table]

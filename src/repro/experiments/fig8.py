@@ -1,0 +1,42 @@
+"""Figure 8 — effect of ``S`` on TPA's online time and L1 error.
+
+Expected shape (paper): as ``S`` grows, online time increases sharply while
+L1 error decreases (more of the series is computed exactly).  ``T`` is
+fixed to 10, datasets are the LiveJournal and Pokec analogs.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import sweep_s
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentResult
+from repro.graph.datasets import load_dataset
+
+__all__ = ["run"]
+
+_DATASETS = ("livejournal", "pokec")
+_S_VALUES = (2, 3, 4, 5, 6)
+_T = 10
+
+
+def run(config: ExperimentConfig) -> list[ExperimentResult]:
+    results = []
+    for dataset in _DATASETS:
+        graph = load_dataset(dataset, scale=config.scale)
+        points = sweep_s(
+            graph,
+            list(_S_VALUES),
+            t_iteration=_T,
+            num_seeds=config.num_seeds,
+            rng_seed=config.rng_seed,
+        )
+        table = ExperimentResult(
+            f"fig8.{dataset}",
+            f"Effect of S on online time and L1 error, {dataset} (Figure 8)",
+            ["S", "online seconds", "L1 error"],
+        )
+        for point in points:
+            table.add_row(point.value, point.online_seconds, point.l1_error)
+        table.add_note(f"T fixed to {_T}; {config.num_seeds} seeds per point.")
+        results.append(table)
+    return results

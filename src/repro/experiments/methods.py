@@ -1,0 +1,61 @@
+"""Method suite construction shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import BRPPR, BearApprox, BePI, Fora, HubPPR, NBLin
+from repro.core.tpa import TPA
+from repro.experiments.config import ExperimentConfig
+from repro.graph.datasets import DatasetSpec
+from repro.method import PPRMethod
+
+__all__ = ["METHOD_ORDER", "build_method", "build_suite", "build_ground_truth"]
+
+#: Plot order of the paper's Figure 1 legend.
+METHOD_ORDER = ["TPA", "BRPPR", "FORA", "BEAR_APPROX", "HubPPR", "NB_LIN"]
+
+#: Methods with a non-trivial preprocessing phase (Figure 1(a)/(b) only
+#: compare these; BRPPR has nothing to preprocess).
+PREPROCESSING_METHODS = ["TPA", "FORA", "BEAR_APPROX", "HubPPR", "NB_LIN"]
+
+
+def build_method(
+    name: str, spec: DatasetSpec, config: ExperimentConfig
+) -> PPRMethod:
+    """Construct one method configured as in the paper's Section IV-A."""
+    budget = config.memory_budget_bytes
+    factories: dict[str, Callable[[], PPRMethod]] = {
+        "TPA": lambda: TPA(
+            s_iteration=spec.s_iteration, t_iteration=spec.t_iteration
+        ),
+        "BRPPR": lambda: BRPPR(expand_threshold=1e-4),
+        "FORA": lambda: Fora(
+            epsilon=0.5, memory_budget_bytes=budget, seed=config.rng_seed
+        ),
+        "BEAR_APPROX": lambda: BearApprox(memory_budget_bytes=budget),
+        "HubPPR": lambda: HubPPR(
+            epsilon=0.5, memory_budget_bytes=budget, seed=config.rng_seed
+        ),
+        "NB_LIN": lambda: NBLin(
+            drop_tolerance=0.0, memory_budget_bytes=budget, seed=config.rng_seed
+        ),
+    }
+    if name not in factories:
+        raise KeyError(f"unknown method {name!r}; known: {sorted(factories)}")
+    return factories[name]()
+
+
+def build_suite(
+    spec: DatasetSpec, config: ExperimentConfig, names: list[str] | None = None
+) -> dict[str, PPRMethod]:
+    """Construct the full comparison suite for one dataset."""
+    return {
+        name: build_method(name, spec, config)
+        for name in (names or METHOD_ORDER)
+    }
+
+
+def build_ground_truth(spec: DatasetSpec) -> BePI:
+    """The exact method used as ground truth (BePI, as in the paper)."""
+    return BePI()

@@ -1,0 +1,42 @@
+"""Registry mapping experiment ids to driver functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ParameterError
+from repro.experiments import ablation, fig1, fig3, fig4, fig6, fig7, fig8, fig9, fig10
+from repro.experiments import scaling, table2, table3
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+Driver = Callable[[ExperimentConfig], list[ExperimentResult]]
+
+EXPERIMENTS: dict[str, Driver] = {
+    "table2": table2.run,
+    "fig1": fig1.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "table3": table3.run,
+    "fig10": fig10.run,
+    "ablation": ablation.run,
+    "scaling": scaling.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None
+) -> list[ExperimentResult]:
+    """Run one experiment by registry id."""
+    if experiment_id not in EXPERIMENTS:
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[experiment_id](config or ExperimentConfig())

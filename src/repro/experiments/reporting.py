@@ -1,0 +1,116 @@
+"""Result tables and their text / markdown / CSV rendering."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_cell"]
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell.
+
+    Floats get four significant digits; ``None`` renders as ``-`` (the
+    paper's omitted bars) and the string ``"OOM"`` passes through (its
+    out-of-memory marker).
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One rendered table of an experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key, e.g. ``"fig1a"``.
+    title:
+        Human-readable caption, referencing the paper artifact.
+    headers:
+        Column names.
+    rows:
+        Table body; cells may be strings, numbers, or ``None``.
+    notes:
+        Free-form footnotes (substitutions, omissions, parameters).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # -- rendering -------------------------------------------------------------
+
+    def _formatted(self) -> tuple[list[str], list[list[str]]]:
+        headers = [str(h) for h in self.headers]
+        rows = [[format_cell(cell) for cell in row] for row in self.rows]
+        return headers, rows
+
+    def to_text(self) -> str:
+        """Fixed-width table for terminal output."""
+        headers, rows = self._formatted()
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        out = io.StringIO()
+        out.write(f"== {self.experiment_id}: {self.title} ==\n")
+        out.write(line(headers) + "\n")
+        out.write(line(["-" * w for w in widths]) + "\n")
+        for row in rows:
+            out.write(line(row) + "\n")
+        for note in self.notes:
+            out.write(f"  note: {note}\n")
+        return out.getvalue()
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown table."""
+        headers, rows = self._formatted()
+        out = io.StringIO()
+        out.write(f"### `{self.experiment_id}` — {self.title}\n\n")
+        out.write("| " + " | ".join(headers) + " |\n")
+        out.write("|" + "|".join("---" for _ in headers) + "|\n")
+        for row in rows:
+            out.write("| " + " | ".join(row) + " |\n")
+        if self.notes:
+            out.write("\n")
+            for note in self.notes:
+                out.write(f"> {note}\n")
+        out.write("\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (quotes cells containing commas)."""
+        headers, rows = self._formatted()
+
+        def escape(cell: str) -> str:
+            if "," in cell or '"' in cell:
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        lines = [",".join(escape(h) for h in headers)]
+        lines.extend(",".join(escape(c) for c in row) for row in rows)
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,207 @@
+"""Disk-resident graph storage — the paper's stated future work.
+
+The conclusion of the paper lists "extending TPA into a disk-based RWR
+method to handle huge, disk-resident graphs" as future work.  This module
+provides that extension: :class:`DiskGraph` stores the transition operator
+``Ã^T`` as row stripes on disk and streams them through memory one stripe
+at a time during :meth:`propagate`.
+
+Because CPI (and therefore TPA and PageRank) touches the graph *only*
+through ``num_nodes`` and ``propagate``, a :class:`DiskGraph` can be
+passed anywhere a :class:`~repro.graph.graph.Graph` is used for CPI-based
+computation — ``TPA.preprocess(disk_graph)`` and ``TPA.query`` work
+unchanged.  Resident memory is ``O(n)`` for the iteration vectors plus one
+stripe of edges, instead of ``O(n + m)``.
+
+Example
+-------
+>>> from repro.graph import community_graph
+>>> from repro.graph.diskgraph import DiskGraph
+>>> from repro.core import TPA
+>>> graph = community_graph(500, avg_degree=6, seed=1)
+>>> disk = DiskGraph.build(graph, "/tmp/disk_demo", rows_per_stripe=100)
+>>> method = TPA(s_iteration=5, t_iteration=10)
+>>> method.preprocess(disk)
+>>> scores = method.query(0)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError, ParameterError
+from repro.graph.graph import Graph
+
+__all__ = ["DiskGraph"]
+
+_META_FILE = "meta.json"
+
+
+class DiskGraph:
+    """A column-stochastic propagation operator streamed from disk.
+
+    Build one with :meth:`build` (from an in-memory graph) or open an
+    existing directory with the constructor.
+
+    Parameters
+    ----------
+    directory:
+        Directory containing ``meta.json`` and the stripe files written by
+        :meth:`build`.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self._dir = Path(directory)
+        meta_path = self._dir / _META_FILE
+        if not meta_path.exists():
+            raise GraphFormatError(f"{meta_path} not found; run DiskGraph.build first")
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("format") != "repro-diskgraph-v1":
+            raise GraphFormatError(f"unrecognized disk graph format in {meta_path}")
+        self._n = int(meta["num_nodes"])
+        self._m = int(meta["num_edges"])
+        self._rows_per_stripe = int(meta["rows_per_stripe"])
+        self._num_stripes = int(meta["num_stripes"])
+        self._dangling_policy = meta["dangling_policy"]
+        dangling_path = self._dir / "dangling.npy"
+        self._dangling = (
+            np.load(dangling_path) if dangling_path.exists() else np.empty(0, np.int64)
+        )
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        directory: str | os.PathLike,
+        rows_per_stripe: int = 65_536,
+    ) -> "DiskGraph":
+        """Serialize ``graph``'s transition operator into stripe files.
+
+        Parameters
+        ----------
+        graph:
+            Source in-memory graph.
+        directory:
+            Destination directory (created if missing).
+        rows_per_stripe:
+            Rows of ``Ã^T`` per stripe file; smaller stripes mean a lower
+            resident-memory peak during :meth:`propagate`.
+        """
+        if rows_per_stripe < 1:
+            raise ParameterError("rows_per_stripe must be at least 1")
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+
+        operator = graph.transition_transpose
+        n = graph.num_nodes
+        num_stripes = (n + rows_per_stripe - 1) // rows_per_stripe
+
+        for stripe in range(num_stripes):
+            begin = stripe * rows_per_stripe
+            end = min(begin + rows_per_stripe, n)
+            block = operator[begin:end]
+            np.save(path / f"stripe_{stripe}_indptr.npy", block.indptr)
+            np.save(path / f"stripe_{stripe}_indices.npy", block.indices)
+            np.save(path / f"stripe_{stripe}_data.npy", block.data)
+
+        if graph.dangling_nodes.size:
+            np.save(path / "dangling.npy", graph.dangling_nodes)
+
+        meta = {
+            "format": "repro-diskgraph-v1",
+            "num_nodes": n,
+            "num_edges": graph.num_edges,
+            "rows_per_stripe": rows_per_stripe,
+            "num_stripes": num_stripes,
+            "dangling_policy": graph.dangling_policy,
+        }
+        with open(path / _META_FILE, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle)
+        return cls(path)
+
+    # -- Graph protocol used by CPI --------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    @property
+    def num_stripes(self) -> int:
+        return self._num_stripes
+
+    @property
+    def dangling_nodes(self) -> np.ndarray:
+        return self._dangling
+
+    @property
+    def dangling_policy(self) -> str:
+        return self._dangling_policy
+
+    def propagate(self, x: np.ndarray) -> np.ndarray:
+        """``Ã^T x`` with one stripe of edges resident at a time."""
+        if x.shape != (self._n,):
+            raise ParameterError(
+                f"vector length {x.shape} does not match n={self._n}"
+            )
+        y = np.empty(self._n, dtype=np.float64)
+        for stripe in range(self._num_stripes):
+            begin = stripe * self._rows_per_stripe
+            end = min(begin + self._rows_per_stripe, self._n)
+            indptr = np.load(self._dir / f"stripe_{stripe}_indptr.npy")
+            indices = np.load(self._dir / f"stripe_{stripe}_indices.npy")
+            data = np.load(self._dir / f"stripe_{stripe}_data.npy")
+            # Row-stripe SpMV without building a scipy matrix: segment sums
+            # of data * x[indices] over the indptr boundaries.
+            products = data * x[indices]
+            segment = np.zeros(end - begin)
+            if products.size:
+                # reduceat quirks: an empty segment repeats a neighbouring
+                # value, and a start index == len(products) (trailing empty
+                # rows) is out of bounds.  Padding one zero keeps every
+                # start index valid without disturbing any real segment
+                # boundary; empty segments are masked out afterwards.
+                padded = np.append(products, 0.0)
+                sums = np.add.reduceat(padded, indptr[:-1])
+                nonempty = np.diff(indptr) > 0
+                segment[nonempty] = sums[nonempty]
+            y[begin:end] = segment
+        if self._dangling.size and self._dangling_policy == "uniform":
+            leaked = float(x[self._dangling].sum())
+            if leaked != 0.0:
+                y += leaked / self._n
+        return y
+
+    def resident_bytes(self) -> int:
+        """Peak extra memory a propagate call needs beyond the vectors:
+        one stripe of (indptr, indices, data)."""
+        peak = 0
+        for stripe in range(self._num_stripes):
+            total = 0
+            for part in ("indptr", "indices", "data"):
+                file = self._dir / f"stripe_{stripe}_{part}.npy"
+                total += file.stat().st_size
+            peak = max(peak, total)
+        return peak
+
+    def disk_bytes(self) -> int:
+        """Total on-disk footprint of all stripe files."""
+        return sum(
+            file.stat().st_size for file in self._dir.glob("stripe_*.npy")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DiskGraph(n={self._n}, m={self._m}, stripes={self._num_stripes}, "
+            f"dir={str(self._dir)!r})"
+        )

@@ -1,0 +1,125 @@
+"""Common interface for all RWR / personalized-PageRank methods.
+
+Every method in the paper's evaluation — TPA itself and the six baselines —
+follows the same two-phase protocol: an optional per-graph *preprocessing*
+phase, then a per-seed *online* phase.  :class:`PPRMethod` captures that
+protocol so the experiment harness can time, size, and score every method
+uniformly (Figures 1, 7, 10).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import NotPreprocessedError
+from repro.graph.graph import Graph
+
+__all__ = ["PPRMethod"]
+
+
+class PPRMethod(ABC):
+    """Abstract base class for single-source RWR estimators.
+
+    Subclasses set :attr:`name` and implement :meth:`_preprocess`,
+    :meth:`_query`, and :meth:`preprocessed_bytes`.
+
+    The public wrappers enforce the protocol: :meth:`query` raises
+    :class:`~repro.exceptions.NotPreprocessedError` if the method has not
+    been bound to a graph, and validates the seed range.
+    """
+
+    #: Human-readable method name used in reports (e.g. ``"TPA"``).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._graph: Graph | None = None
+
+    # -- public protocol -------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        """The graph this method was preprocessed for."""
+        if self._graph is None:
+            raise NotPreprocessedError(
+                f"{self.name}: preprocess() must run before the online phase"
+            )
+        return self._graph
+
+    @property
+    def is_preprocessed(self) -> bool:
+        """Whether :meth:`preprocess` has completed."""
+        return self._graph is not None
+
+    def preprocess(self, graph: Graph) -> None:
+        """Run the per-graph preprocessing phase.
+
+        Methods without a preprocessing phase (e.g. BRPPR) still bind the
+        graph here so the online phase can run.
+        """
+        self._graph = graph
+        self._preprocess(graph)
+
+    def query(self, seed: int) -> np.ndarray:
+        """Return the length-``n`` approximate RWR score vector for ``seed``."""
+        graph = self.graph
+        if not 0 <= seed < graph.num_nodes:
+            raise ValueError(
+                f"seed {seed} out of range for graph with {graph.num_nodes} nodes"
+            )
+        return self._query(int(seed))
+
+    def top_k(self, seed: int, k: int, exclude_seed: bool = True,
+              exclude_neighbors: bool = False) -> np.ndarray:
+        """Top-``k`` nodes by approximate RWR score from ``seed``.
+
+        This is the ranking primitive behind the paper's application
+        examples (e.g. Twitter's top-500 "Who to Follow").
+
+        Parameters
+        ----------
+        seed:
+            Query node.
+        k:
+            Result size.
+        exclude_seed:
+            Drop the seed itself from the ranking (it always carries at
+            least mass ``c``).
+        exclude_neighbors:
+            Also drop the seed's existing out-neighbors — the standard
+            recommendation setting where known links are not re-suggested.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        scores = self.query(seed)
+        banned = set()
+        if exclude_seed:
+            banned.add(int(seed))
+        if exclude_neighbors and hasattr(self.graph, "out_neighbors"):
+            banned.update(int(v) for v in self.graph.out_neighbors(seed))
+        order = np.argsort(-scores, kind="stable")
+        picks = [int(node) for node in order if int(node) not in banned]
+        return np.asarray(picks[:k], dtype=np.int64)
+
+    @abstractmethod
+    def preprocessed_bytes(self) -> int:
+        """Size in bytes of the preprocessed data this method must keep
+        resident for the online phase (Figure 1(a) / 10(a)).
+
+        Excludes the graph itself, which every method shares.
+        """
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    @abstractmethod
+    def _preprocess(self, graph: Graph) -> None:
+        """Method-specific preprocessing; ``graph`` is already bound."""
+
+    @abstractmethod
+    def _query(self, seed: int) -> np.ndarray:
+        """Method-specific online phase for a validated seed."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "preprocessed" if self.is_preprocessed else "unbound"
+        return f"{type(self).__name__}({state})"

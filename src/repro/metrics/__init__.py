@@ -1,0 +1,30 @@
+"""Measurement utilities: accuracy, memory accounting, and timing.
+
+These back the paper's three evaluation axes — accuracy (Figure 7,
+Table III), memory (Figures 1(a), 10(a)), and wall-clock time
+(Figures 1(b,c), 10(b,c)).
+"""
+
+from repro.metrics.accuracy import (
+    l1_error,
+    top_k,
+    recall_at_k,
+    precision_at_k,
+    ndcg_at_k,
+)
+from repro.metrics.memory import MemoryBudget, format_bytes, sparse_nbytes
+from repro.metrics.timing import Timer, time_callable, TimingStats
+
+__all__ = [
+    "l1_error",
+    "top_k",
+    "recall_at_k",
+    "precision_at_k",
+    "ndcg_at_k",
+    "MemoryBudget",
+    "format_bytes",
+    "sparse_nbytes",
+    "Timer",
+    "time_callable",
+    "TimingStats",
+]

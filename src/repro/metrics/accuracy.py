@@ -1,0 +1,72 @@
+"""Accuracy metrics for approximate RWR vectors.
+
+The paper reports two accuracy views: L1 norm error against the exact
+vector (Table III, Figures 8–9) and recall of the exact top-``k`` vertex
+set (Figure 7) — the quantity that matters for ranking applications such
+as Twitter's "Who to Follow" (top-500).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["l1_error", "top_k", "recall_at_k", "precision_at_k", "ndcg_at_k"]
+
+
+def _validate_pair(exact: np.ndarray, approx: np.ndarray) -> None:
+    if exact.shape != approx.shape:
+        raise ParameterError(
+            f"score vectors must have equal shapes; got {exact.shape} vs "
+            f"{approx.shape}"
+        )
+
+
+def l1_error(exact: np.ndarray, approx: np.ndarray) -> float:
+    """``‖exact − approx‖₁``."""
+    _validate_pair(exact, approx)
+    return float(np.abs(exact - approx).sum())
+
+
+def top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, descending, with deterministic
+    (lowest-id-first) tie breaking."""
+    if k < 1:
+        raise ParameterError("k must be at least 1")
+    k = min(k, scores.size)
+    # argsort of (-score, id): stable sort on negated scores.
+    order = np.argsort(-scores, kind="stable")
+    return order[:k]
+
+
+def recall_at_k(exact: np.ndarray, approx: np.ndarray, k: int) -> float:
+    """|exact-top-k ∩ approx-top-k| / k — the paper's Figure 7 metric."""
+    _validate_pair(exact, approx)
+    exact_set = set(top_k(exact, k).tolist())
+    approx_set = set(top_k(approx, k).tolist())
+    k_eff = min(k, exact.size)
+    return len(exact_set & approx_set) / k_eff
+
+
+def precision_at_k(exact: np.ndarray, approx: np.ndarray, k: int) -> float:
+    """Identical to recall at equal ``k`` set sizes; provided for clarity
+    when callers use different exact/approx cut-offs."""
+    return recall_at_k(exact, approx, k)
+
+
+def ndcg_at_k(exact: np.ndarray, approx: np.ndarray, k: int) -> float:
+    """Normalized discounted cumulative gain of the approximate ranking,
+    with the exact scores as graded relevance."""
+    _validate_pair(exact, approx)
+    k = min(k, exact.size)
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+
+    approx_order = top_k(approx, k)
+    dcg = float((exact[approx_order] * discounts).sum())
+
+    ideal_order = top_k(exact, k)
+    ideal = float((exact[ideal_order] * discounts).sum())
+    if ideal <= 0.0:
+        return 0.0
+    return dcg / ideal

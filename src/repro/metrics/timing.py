@@ -1,0 +1,80 @@
+"""Wall-clock timing helpers.
+
+The paper reports wall-clock medians over 30 random seeds.  ``Timer`` is a
+simple context manager; :func:`time_callable` runs a callable several times
+and reports summary statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.exceptions import ParameterError
+
+__all__ = ["Timer", "TimingStats", "time_callable"]
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._begin = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._begin = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._begin
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary of repeated timings (seconds)."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    repeats: int
+
+
+def time_callable(
+    func: Callable[[], T], repeats: int = 3
+) -> tuple[T, TimingStats]:
+    """Call ``func`` ``repeats`` times; return its last result and stats."""
+    if repeats < 1:
+        raise ParameterError("repeats must be at least 1")
+    samples: list[float] = []
+    result: T | None = None
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        result = func()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    mid = len(samples) // 2
+    if len(samples) % 2:
+        median = samples[mid]
+    else:
+        median = 0.5 * (samples[mid - 1] + samples[mid])
+    stats = TimingStats(
+        mean=sum(samples) / len(samples),
+        median=median,
+        minimum=samples[0],
+        maximum=samples[-1],
+        repeats=repeats,
+    )
+    return result, stats  # type: ignore[return-value]

@@ -1,0 +1,18 @@
+"""Reference PageRank and exact RWR solvers.
+
+These provide seed-independent PageRank (Section II-A) and exact RWR
+reference solutions used as ground truth in tests, alongside the BePI
+baseline used as ground truth in the experiments.
+"""
+
+from repro.ranking.pagerank import pagerank, pagerank_power
+from repro.ranking.rwr import rwr_exact, rwr_direct, rwr_power, rwr_matrix
+
+__all__ = [
+    "pagerank",
+    "pagerank_power",
+    "rwr_exact",
+    "rwr_direct",
+    "rwr_power",
+    "rwr_matrix",
+]

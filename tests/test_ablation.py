@@ -1,0 +1,74 @@
+"""Tests for the ablation study and TPA's multi-seed queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpi import cpi
+from repro.core.tpa import TPA
+from repro.experiments.ablation import ablation_errors
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import run_experiment
+
+
+class TestAblationErrors:
+    def test_tuned_tpa_beats_both_ablations(self, medium_community):
+        """With T tuned for these fast-mixing analogs (T = S + 1), full
+        TPA beats dropping either approximation."""
+        seeds = np.array([3, 140, 900])
+        tpa, no_na, no_sa = ablation_errors(medium_community, 5, 6, seeds)
+        assert tpa <= no_na + 1e-9
+        assert tpa <= no_sa + 1e-9
+
+    def test_stranger_approximation_is_essential(self, medium_community):
+        """Dropping the stranger approximation hurts at any T."""
+        seeds = np.array([3, 140, 900])
+        for t in (6, 10, 15):
+            tpa, _, no_sa = ablation_errors(medium_community, 5, t, seeds)
+            assert tpa < no_sa
+
+    def test_all_errors_positive(self, medium_community):
+        seeds = np.array([5])
+        errors = ablation_errors(medium_community, 5, 10, seeds)
+        assert all(e > 0 for e in errors)
+
+    def test_driver_runs(self):
+        config = ExperimentConfig(
+            scale=0.05, num_seeds=2, datasets=("slashdot",)
+        )
+        results = run_experiment("ablation", config)
+        assert len(results) == 1
+        row = results[0].rows[0]
+        # Tuned TPA (col 2) beats the no-SA ablation (col 4); no-NA (col 3)
+        # is the close competitor on fast-mixing tiny analogs.
+        assert row[2] <= row[4] + 1e-9
+
+
+class TestMultiSeedTPA:
+    @pytest.fixture(scope="class")
+    def method(self, medium_community):
+        tpa = TPA(s_iteration=5, t_iteration=10)
+        tpa.preprocess(medium_community)
+        return tpa
+
+    def test_singleton_set_matches_query(self, method):
+        np.testing.assert_allclose(
+            method.query_seed_set([9]), method.query(9)
+        )
+
+    def test_seed_set_error_within_bound(self, method, medium_community):
+        seeds = [3, 77, 450]
+        exact = cpi(medium_community, seeds, tol=1e-12).scores
+        approx = method.query_seed_set(seeds)
+        assert np.abs(exact - approx).sum() <= method.error_bound() + 1e-9
+
+    def test_mass_is_one(self, method):
+        assert method.query_seed_set([1, 2, 3]).sum() == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_seed_set_mixture_property(self, method):
+        """RWR is linear in the seed vector: the set query equals the
+        average of the individual queries."""
+        combined = method.query_seed_set([4, 8])
+        individual = 0.5 * (method.query(4) + method.query(8))
+        np.testing.assert_allclose(combined, individual, atol=1e-12)

@@ -1,0 +1,105 @@
+"""Unit tests for repro.analysis (matrix powers, block-wise drift)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.blockwise import family_drift, family_drift_comparison
+from repro.analysis.matrix_power import (
+    block_density_grid,
+    column_difference_statistic,
+    matrix_power_nnz,
+)
+from repro.core.bounds import family_norm
+from repro.exceptions import ParameterError
+
+
+class TestMatrixPowerNnz:
+    def test_power_one_matches_edges(self, small_community):
+        nnz = matrix_power_nnz(small_community, [1])
+        assert nnz[1] == small_community.num_edges
+
+    def test_nnz_grows_with_power(self, small_community):
+        nnz = matrix_power_nnz(small_community, [1, 3, 5])
+        assert nnz[1] < nnz[3] <= nnz[5]
+
+    def test_bounded_by_n_squared(self, small_community):
+        n = small_community.num_nodes
+        nnz = matrix_power_nnz(small_community, [7])
+        assert nnz[7] <= n * n
+
+    def test_validation(self, small_community):
+        with pytest.raises(ParameterError):
+            matrix_power_nnz(small_community, [])
+        with pytest.raises(ParameterError):
+            matrix_power_nnz(small_community, [0])
+
+
+class TestColumnDifferenceStatistic:
+    def test_range(self, small_community):
+        """C_i lies in [0, 2] (columns are unit vectors)."""
+        stats = column_difference_statistic(small_community, [1, 5], num_seeds=5)
+        for value in stats.values():
+            assert 0.0 <= value <= 2.0
+
+    def test_decreases_with_power(self, small_community):
+        """The paper's Figure 4(b) shape: densification shrinks C_i."""
+        stats = column_difference_statistic(
+            small_community, [1, 5], num_seeds=10, rng=0
+        )
+        assert stats[5] < stats[1]
+
+    def test_near_two_for_sparse_power_one(self, small_community):
+        """At i=1 columns rarely overlap, so C_1 is close to 2."""
+        stats = column_difference_statistic(small_community, [1], num_seeds=10)
+        assert stats[1] > 1.5
+
+    def test_deterministic(self, small_community):
+        a = column_difference_statistic(small_community, [3], num_seeds=5, rng=1)
+        b = column_difference_statistic(small_community, [3], num_seeds=5, rng=1)
+        assert a == b
+
+
+class TestBlockDensityGrid:
+    def test_grid_sums_to_nnz(self, small_community):
+        grid = block_density_grid(small_community, 1, grid=8)
+        assert grid.sum() == small_community.num_edges
+
+    def test_grid_shape(self, small_community):
+        grid = block_density_grid(small_community, 3, grid=4)
+        assert grid.shape == (4, 4)
+
+    def test_dense_power_counts(self, small_community):
+        """At high power the matrix is nearly dense — counts near cell area."""
+        n = small_community.num_nodes
+        grid = block_density_grid(small_community, 8, grid=2)
+        assert grid.sum() > 0.5 * n * n
+
+    def test_validation(self, small_community):
+        with pytest.raises(ParameterError):
+            block_density_grid(small_community, 0)
+        with pytest.raises(ParameterError):
+            block_density_grid(small_community, 1, grid=0)
+
+
+class TestFamilyDrift:
+    def test_bounded(self, small_community):
+        """Drift is at most 2 ||f||_1 = 2 (1-(1-c)^S)."""
+        drift = family_drift(small_community, 0, s_iteration=5, c=0.15)
+        assert 0.0 <= drift <= 2.0 * family_norm(0.15, 5) + 1e-9
+
+    def test_zero_on_complete_graph_symmetric_seedless_case(self, tiny_complete):
+        """On a complete graph every distribution is one step from uniform;
+        drift is small but positive due to the seed spike."""
+        drift = family_drift(tiny_complete, 0, s_iteration=5)
+        assert drift < 0.5
+
+    def test_community_graph_lower_than_random(self, small_community):
+        """The Figure 6 claim, at fixture scale."""
+        real, random_drift = family_drift_comparison(
+            small_community, s_iteration=5, num_seeds=10, rng=0
+        )
+        assert real < random_drift
+
+    def test_invalid_s(self, small_community):
+        with pytest.raises(ParameterError):
+            family_drift(small_community, 0, s_iteration=0)

@@ -1,0 +1,80 @@
+"""Unit tests for the BEAR-APPROX baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bear import BearApprox
+from repro.exceptions import MemoryBudgetExceeded, ParameterError
+from repro.metrics.accuracy import recall_at_k
+from repro.ranking.rwr import rwr_direct
+
+
+class TestBearExact:
+    def test_zero_drop_is_exact(self, small_community):
+        """BEAR with drop tolerance 0 is an exact block-elimination solver."""
+        method = BearApprox(drop_tolerance=0.0)
+        method.preprocess(small_community)
+        for seed in (0, 13, 250):
+            exact = rwr_direct(small_community, seed)
+            np.testing.assert_allclose(method.query(seed), exact, atol=1e-8)
+
+    def test_zero_drop_exact_on_random_graph(self, random_gnm):
+        method = BearApprox(drop_tolerance=0.0)
+        method.preprocess(random_gnm)
+        exact = rwr_direct(random_gnm, 5)
+        np.testing.assert_allclose(method.query(5), exact, atol=1e-8)
+
+    def test_zero_drop_exact_on_star(self, tiny_star):
+        method = BearApprox(drop_tolerance=0.0)
+        method.preprocess(tiny_star)
+        exact = rwr_direct(tiny_star, 1)
+        np.testing.assert_allclose(method.query(1), exact, atol=1e-10)
+
+
+class TestBearApprox:
+    def test_default_drop_keeps_recall(self, medium_community):
+        method = BearApprox()
+        method.preprocess(medium_community)
+        exact = rwr_direct(medium_community, 9)
+        approx = method.query(9)
+        assert recall_at_k(exact, approx, 100) >= 0.9
+
+    def test_drop_reduces_storage(self, medium_community):
+        exact = BearApprox(drop_tolerance=0.0)
+        exact.preprocess(medium_community)
+        dropped = BearApprox(drop_tolerance=1e-2)
+        dropped.preprocess(medium_community)
+        assert dropped.preprocessed_bytes() < exact.preprocessed_bytes()
+
+    def test_larger_drop_larger_error(self, medium_community):
+        exact = rwr_direct(medium_community, 2)
+        errors = []
+        for drop in (1e-4, 5e-2):
+            method = BearApprox(drop_tolerance=drop)
+            method.preprocess(medium_community)
+            errors.append(np.abs(exact - method.query(2)).sum())
+        assert errors[0] < errors[1]
+
+    def test_memory_budget_blocks_schur(self, medium_community):
+        method = BearApprox(memory_budget_bytes=1000)
+        with pytest.raises(MemoryBudgetExceeded):
+            method.preprocess(medium_community)
+
+    def test_preprocessed_bytes_positive(self, small_community):
+        method = BearApprox()
+        method.preprocess(small_community)
+        assert method.preprocessed_bytes() > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            BearApprox(drop_tolerance=-0.1)
+        with pytest.raises(ParameterError):
+            BearApprox(hub_ratio=0.0)
+        with pytest.raises(ParameterError):
+            BearApprox(c=1.0)
+
+    def test_scores_localized_at_seed(self, medium_community):
+        method = BearApprox()
+        method.preprocess(medium_community)
+        scores = method.query(77)
+        assert int(np.argmax(scores)) == 77

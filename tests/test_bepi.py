@@ -1,0 +1,64 @@
+"""Unit tests for the BePI exact baseline (the experiments' ground truth)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bepi import BePI
+from repro.exceptions import MemoryBudgetExceeded
+from repro.ranking.rwr import rwr_direct
+
+
+class TestBePIExactness:
+    def test_matches_direct_solve(self, medium_community):
+        method = BePI()
+        method.preprocess(medium_community)
+        for seed in (0, 42, 1400):
+            exact = rwr_direct(medium_community, seed)
+            np.testing.assert_allclose(method.query(seed), exact, atol=1e-7)
+
+    def test_exact_on_random_graph(self, random_gnm):
+        method = BePI()
+        method.preprocess(random_gnm)
+        exact = rwr_direct(random_gnm, 3)
+        np.testing.assert_allclose(method.query(3), exact, atol=1e-7)
+
+    def test_exact_on_ring(self, tiny_ring):
+        method = BePI()
+        method.preprocess(tiny_ring)
+        exact = rwr_direct(tiny_ring, 0)
+        np.testing.assert_allclose(method.query(0), exact, atol=1e-9)
+
+    def test_exact_on_star(self, tiny_star):
+        method = BePI()
+        method.preprocess(tiny_star)
+        exact = rwr_direct(tiny_star, 0)
+        np.testing.assert_allclose(method.query(0), exact, atol=1e-9)
+
+    def test_scores_sum_to_one(self, medium_community):
+        method = BePI()
+        method.preprocess(medium_community)
+        assert method.query(0).sum() == pytest.approx(1.0, abs=1e-7)
+
+
+class TestBePIResources:
+    def test_stores_sparse_factors_only(self, medium_community):
+        """BePI must store far less than a dense n^2 inverse."""
+        method = BePI()
+        method.preprocess(medium_community)
+        n = medium_community.num_nodes
+        assert 0 < method.preprocessed_bytes() < n * n * 8 / 4
+
+    def test_stores_more_than_tpa(self, medium_community):
+        """Figure 10(a): BePI's factors dwarf TPA's single vector."""
+        from repro.core.tpa import TPA
+
+        bepi = BePI()
+        bepi.preprocess(medium_community)
+        tpa = TPA(s_iteration=5, t_iteration=10)
+        tpa.preprocess(medium_community)
+        assert bepi.preprocessed_bytes() > 5 * tpa.preprocessed_bytes()
+
+    def test_memory_budget_enforced(self, medium_community):
+        method = BePI(memory_budget_bytes=100)
+        with pytest.raises(MemoryBudgetExceeded):
+            method.preprocess(medium_community)

@@ -1,0 +1,71 @@
+"""Unit tests for the BiPPR pair-PPR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bippr import BiPPR
+from repro.exceptions import ParameterError
+from repro.ranking.rwr import rwr_direct
+
+
+@pytest.fixture(scope="module")
+def prepared(small_community):
+    method = BiPPR(seed=0, max_walks=40_000)
+    method.preprocess(small_community)
+    return method
+
+
+class TestPairQueries:
+    def test_pair_estimate_accurate_for_large_scores(self, prepared, small_community):
+        source = 3
+        exact = rwr_direct(small_community, source)
+        # The seed's own score (>= c) is the easiest significant pair.
+        estimate = prepared.query_pair(source, source)
+        assert estimate == pytest.approx(exact[source], rel=0.15)
+
+    def test_pair_estimates_track_top_targets(self, prepared, small_community):
+        source = 3
+        exact = rwr_direct(small_community, source)
+        for target in np.argsort(-exact)[:5]:
+            estimate = prepared.query_pair(source, int(target))
+            assert estimate == pytest.approx(exact[target], abs=0.02)
+
+    def test_insignificant_pair_small(self, prepared, small_community):
+        source = 3
+        exact = rwr_direct(small_community, source)
+        target = int(np.argmin(exact))
+        assert prepared.query_pair(source, target) < 0.02
+
+    def test_pair_validation(self, prepared, small_community):
+        with pytest.raises(ParameterError):
+            prepared.query_pair(-1, 0)
+        with pytest.raises(ParameterError):
+            prepared.query_pair(0, small_community.num_nodes)
+
+
+class TestWholeVectorAdapter:
+    def test_whole_vector_topk(self, small_community):
+        method = BiPPR(seed=0, max_walks=20_000, backward_rmax=5e-3)
+        method.preprocess(small_community)
+        from repro.metrics.accuracy import recall_at_k
+
+        exact = rwr_direct(small_community, 7)
+        approx = method.query(7)
+        assert recall_at_k(exact, approx, 30) >= 0.8
+
+    def test_no_index(self, prepared):
+        assert prepared.preprocessed_bytes() == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"backward_rmax": 0.0},
+            {"c": 0.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            BiPPR(**kwargs)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.core.bounds — Lemmas 1-3, Theorem 2 formulas."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    convergence_iterations,
+    family_norm,
+    neighbor_bound,
+    neighbor_norm,
+    neighbor_scale,
+    stranger_bound,
+    stranger_norm,
+    total_bound,
+)
+from repro.exceptions import ParameterError
+
+
+class TestNorms:
+    def test_family_norm_formula(self):
+        assert family_norm(0.15, 5) == pytest.approx(1 - 0.85**5)
+
+    def test_neighbor_norm_formula(self):
+        assert neighbor_norm(0.15, 5, 10) == pytest.approx(0.85**5 - 0.85**10)
+
+    def test_stranger_norm_formula(self):
+        assert stranger_norm(0.15, 10) == pytest.approx(0.85**10)
+
+    def test_three_parts_sum_to_one(self):
+        c, s, t = 0.15, 5, 10
+        total = family_norm(c, s) + neighbor_norm(c, s, t) + stranger_norm(c, t)
+        assert total == pytest.approx(1.0)
+
+    def test_parts_sum_for_any_parameters(self):
+        for c in (0.05, 0.15, 0.5, 0.9):
+            for s, t in ((1, 2), (3, 20), (5, 6)):
+                total = (
+                    family_norm(c, s)
+                    + neighbor_norm(c, s, t)
+                    + stranger_norm(c, t)
+                )
+                assert total == pytest.approx(1.0)
+
+    def test_neighbor_norm_empty_when_t_equals_s(self):
+        assert neighbor_norm(0.15, 5, 5) == pytest.approx(0.0)
+
+    def test_family_norm_monotone_in_s(self):
+        values = [family_norm(0.15, s) for s in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_stranger_norm_decreasing_in_t(self):
+        values = [stranger_norm(0.15, t) for t in range(1, 10)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestScale:
+    def test_scale_formula(self):
+        expected = (0.85**5 - 0.85**10) / (1 - 0.85**5)
+        assert neighbor_scale(0.15, 5, 10) == pytest.approx(expected)
+
+    def test_scale_zero_when_t_equals_s(self):
+        assert neighbor_scale(0.15, 5, 5) == pytest.approx(0.0)
+
+    def test_scale_geometric_identity(self):
+        """(1-c)^S - (1-c)^T over 1-(1-c)^S equals the geometric sum
+        (1-c)^S + (1-c)^2S + ... when T = kS (proof of Lemma 3)."""
+        c, s, k = 0.15, 3, 4
+        t = k * s
+        geometric = sum((1 - c) ** (i * s) for i in range(1, k))
+        assert neighbor_scale(c, s, t) == pytest.approx(geometric)
+
+
+class TestBounds:
+    def test_stranger_bound(self):
+        assert stranger_bound(0.15, 10) == pytest.approx(2 * 0.85**10)
+
+    def test_neighbor_bound(self):
+        assert neighbor_bound(0.15, 5, 10) == pytest.approx(
+            2 * 0.85**5 - 2 * 0.85**10
+        )
+
+    def test_total_bound(self):
+        assert total_bound(0.15, 5) == pytest.approx(2 * 0.85**5)
+
+    def test_bounds_compose(self):
+        """Theorem 2 = Lemma 1 + Lemma 3 bounds."""
+        c, s, t = 0.15, 5, 10
+        assert total_bound(c, s) == pytest.approx(
+            stranger_bound(c, t) + neighbor_bound(c, s, t)
+        )
+
+    def test_paper_table3_bound_values(self):
+        """The theoretical bound column of Table III."""
+        # Slashdot: S=5, T=15.
+        assert neighbor_bound(0.15, 5, 15) == pytest.approx(0.7127, abs=1e-4)
+        assert stranger_bound(0.15, 15) == pytest.approx(0.1747, abs=1e-4)
+        assert total_bound(0.15, 5) == pytest.approx(0.8874, abs=1e-4)
+        # Twitter: S=4, T=6.
+        assert total_bound(0.15, 4) == pytest.approx(1.0440, abs=1e-4)
+        assert stranger_bound(0.15, 6) == pytest.approx(0.7543, abs=1e-4)
+
+
+class TestConvergenceIterations:
+    def test_matches_closed_form(self):
+        c, tol = 0.15, 1e-9
+        expected = math.ceil(math.log(tol / c) / math.log(1 - c))
+        assert convergence_iterations(c, tol) == expected
+
+    def test_loose_tolerance_needs_no_iterations(self):
+        assert convergence_iterations(0.15, 0.5) == 0
+
+    def test_tolerance_positive(self):
+        with pytest.raises(ParameterError):
+            convergence_iterations(0.15, 0.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("c", [0.0, 1.0, -1.0, 2.0])
+    def test_invalid_c(self, c):
+        with pytest.raises(ParameterError):
+            family_norm(c, 5)
+
+    def test_invalid_s(self):
+        with pytest.raises(ParameterError):
+            family_norm(0.15, 0)
+
+    def test_t_below_s(self):
+        with pytest.raises(ParameterError):
+            neighbor_norm(0.15, 5, 4)

@@ -1,0 +1,80 @@
+"""Unit tests for the BRPPR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brppr import BRPPR
+from repro.exceptions import NotPreprocessedError, ParameterError
+from repro.metrics.accuracy import recall_at_k
+from repro.ranking.rwr import rwr_direct
+
+
+@pytest.fixture(scope="module")
+def prepared(medium_community):
+    method = BRPPR()
+    method.preprocess(medium_community)
+    return method
+
+
+class TestBRPPR:
+    def test_no_preprocessed_data(self, prepared):
+        """BRPPR is online-only — no bar in Figure 1(a)."""
+        assert prepared.preprocessed_bytes() == 0
+
+    def test_high_accuracy(self, prepared, medium_community):
+        exact = rwr_direct(medium_community, 4)
+        approx = prepared.query(4)
+        assert np.abs(exact - approx).sum() < 0.05
+
+    def test_high_recall(self, prepared, medium_community):
+        exact = rwr_direct(medium_community, 4)
+        approx = prepared.query(4)
+        assert recall_at_k(exact, approx, 100) >= 0.95
+
+    def test_active_set_recorded(self, prepared):
+        prepared.query(0)
+        assert 0 < prepared.last_active_size <= prepared.graph.num_nodes
+
+    def test_larger_kappa_allows_smaller_active_set(self, medium_community):
+        tight = BRPPR(kappa=1e-4)
+        tight.preprocess(medium_community)
+        tight.query(0)
+        loose = BRPPR(kappa=0.5)
+        loose.preprocess(medium_community)
+        loose.query(0)
+        assert loose.last_active_size <= tight.last_active_size
+
+    def test_frontier_mass_bounded_by_kappa(self, medium_community):
+        """On exit, the rank parked outside the active set is < kappa
+        (unless the whole graph is active)."""
+        method = BRPPR(kappa=5e-3)
+        method.preprocess(medium_community)
+        exact = rwr_direct(medium_community, 8)
+        approx = method.query(8)
+        if method.last_active_size < medium_community.num_nodes:
+            assert np.abs(exact - approx).sum() < 10 * method.kappa
+
+    def test_scores_sum_near_one(self, prepared):
+        assert prepared.query(2).sum() == pytest.approx(1.0, abs=1e-2)
+
+    def test_query_before_preprocess(self):
+        with pytest.raises(NotPreprocessedError):
+            BRPPR().query(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"expand_threshold": 0.0},
+            {"kappa": 0.0},
+            {"c": 1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            BRPPR(**kwargs)
+
+    def test_dangling_uniform_graph(self, dangling_graph_uniform):
+        method = BRPPR()
+        method.preprocess(dangling_graph_uniform)
+        scores = method.query(0)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-2)

@@ -1,0 +1,84 @@
+"""Tests for the library CLI (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import community_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture(scope="module")
+def edge_file(tmp_path_factory):
+    graph = community_graph(300, avg_degree=6, seed=8)
+    path = tmp_path_factory.mktemp("cli") / "graph.tsv"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestQueryCommand:
+    def test_tpa_query(self, edge_file, capsys):
+        code = main([
+            "query", "--graph", str(edge_file), "--seed", "5",
+            "--method", "tpa", "--top", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert lines[0] == "rank\tnode\tscore"
+        assert len(lines) == 8  # header + 7 rows
+        # Seed ranks first in its own RWR vector.
+        assert lines[1].split("\t")[1] == "5"
+
+    def test_exact_method(self, edge_file, capsys):
+        code = main([
+            "query", "--graph", str(edge_file), "--seed", "0",
+            "--method", "bepi", "--top", "3",
+        ])
+        assert code == 0
+        assert "method=BePI" in capsys.readouterr().out
+
+    def test_missing_seed_id(self, edge_file, capsys):
+        code = main([
+            "query", "--graph", str(edge_file), "--seed", "999999",
+        ])
+        assert code == 2
+        assert "not present" in capsys.readouterr().err
+
+    def test_scores_descending(self, edge_file, capsys):
+        main(["query", "--graph", str(edge_file), "--seed", "1", "--top", "20"])
+        out = capsys.readouterr().out
+        scores = [
+            float(line.split("\t")[2])
+            for line in out.splitlines()
+            if line and line[0].isdigit()
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestStatsCommand:
+    def test_stats_output(self, edge_file, capsys):
+        assert main(["stats", "--graph", str(edge_file)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes            300" in out
+        assert "reciprocity" in out
+
+
+class TestGenerateCommand:
+    def test_generate_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "slashdot.tsv"
+        code = main([
+            "generate", "--dataset", "slashdot", "--scale", "0.05",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+        # Generated file is queryable.
+        capsys.readouterr()
+        assert main([
+            "query", "--graph", str(out_path), "--seed", "0", "--top", "3",
+        ]) == 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["generate", "--dataset", "orkut", "--out", "x.tsv"])

@@ -1,0 +1,157 @@
+"""Unit tests for repro.core.cpi — Algorithm 1 and its windowing."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import family_norm, neighbor_norm, stranger_norm
+from repro.core.cpi import cpi, cpi_iterates, cpi_parts, seed_vector
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.ranking.rwr import rwr_direct
+
+
+class TestSeedVector:
+    def test_single_seed(self, small_community):
+        q = seed_vector(small_community, 3)
+        assert q[3] == 1.0
+        assert q.sum() == 1.0
+
+    def test_multi_seed(self, small_community):
+        q = seed_vector(small_community, [1, 2, 3, 4])
+        assert q[1] == pytest.approx(0.25)
+        assert q.sum() == pytest.approx(1.0)
+
+    def test_pagerank_seed(self, small_community):
+        q = seed_vector(small_community, None)
+        n = small_community.num_nodes
+        np.testing.assert_allclose(q, 1.0 / n)
+
+    def test_empty_seed_set(self, small_community):
+        with pytest.raises(ParameterError):
+            seed_vector(small_community, [])
+
+    def test_out_of_range_seed(self, small_community):
+        with pytest.raises(ParameterError):
+            seed_vector(small_community, small_community.num_nodes)
+
+
+class TestCPIConvergence:
+    def test_matches_direct_solve(self, small_community):
+        exact = rwr_direct(small_community, 5, c=0.15)
+        result = cpi(small_community, 5, c=0.15, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(result.scores, exact, atol=1e-10)
+
+    def test_total_mass_is_one(self, small_community):
+        result = cpi(small_community, 0, tol=1e-12)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_scores_non_negative(self, small_community):
+        result = cpi(small_community, 0)
+        assert (result.scores >= 0).all()
+
+    def test_residual_below_tolerance(self, small_community):
+        result = cpi(small_community, 0, tol=1e-6)
+        assert result.converged
+        assert result.residual_norm < 1e-6
+
+    def test_iteration_count_matches_theory(self, small_community):
+        """‖x(i)‖₁ = c(1-c)^i exactly, so the stop iteration is predictable."""
+        from repro.core.bounds import convergence_iterations
+
+        c, tol = 0.15, 1e-9
+        result = cpi(small_community, 0, c=c, tol=tol)
+        assert result.iterations == convergence_iterations(c, tol)
+
+    def test_max_iterations_enforced(self, small_community):
+        with pytest.raises(ConvergenceError):
+            cpi(small_community, 0, tol=1e-12, max_iterations=5)
+
+    def test_interim_norm_formula(self, small_community):
+        """After i iterations the interim vector has mass exactly c(1-c)^i."""
+        c = 0.2
+        for i, x in enumerate(cpi_iterates(small_community, 3, c=c, max_iterations=6)):
+            assert np.abs(x).sum() == pytest.approx(c * (1 - c) ** i)
+
+
+class TestCPIWindows:
+    def test_family_window_norm(self, small_community):
+        """Lemma 2: ‖r_family‖₁ = 1 - (1-c)^S."""
+        c, s = 0.15, 5
+        result = cpi(
+            small_community, 2, c=c, start_iteration=0, terminal_iteration=s - 1
+        )
+        assert result.scores.sum() == pytest.approx(family_norm(c, s))
+
+    def test_single_term_window(self, small_community):
+        """S=1 family is just x(0) = c e_s."""
+        result = cpi(small_community, 4, c=0.15, terminal_iteration=0)
+        assert result.scores[4] == pytest.approx(0.15)
+        assert result.scores.sum() == pytest.approx(0.15)
+
+    def test_tail_window_norm(self, small_community):
+        """The tail from T has mass (1-c)^T."""
+        c, t = 0.15, 7
+        result = cpi(small_community, 2, c=c, tol=1e-12, start_iteration=t)
+        assert result.scores.sum() == pytest.approx(stranger_norm(c, t), abs=1e-9)
+
+    def test_windows_partition_the_series(self, small_community):
+        """family + neighbor + stranger == full CPI."""
+        c, s, t = 0.15, 4, 9
+        full = cpi(small_community, 6, c=c, tol=1e-12).scores
+        family = cpi(small_community, 6, c=c, terminal_iteration=s - 1).scores
+        neighbor = cpi(
+            small_community, 6, c=c, start_iteration=s, terminal_iteration=t - 1
+        ).scores
+        stranger = cpi(small_community, 6, c=c, tol=1e-12, start_iteration=t).scores
+        np.testing.assert_allclose(family + neighbor + stranger, full, atol=1e-9)
+
+    def test_invalid_window(self, small_community):
+        with pytest.raises(ParameterError):
+            cpi(small_community, 0, start_iteration=5, terminal_iteration=3)
+
+    def test_negative_start(self, small_community):
+        with pytest.raises(ParameterError):
+            cpi(small_community, 0, start_iteration=-1)
+
+
+class TestCPIParts:
+    def test_parts_sum_to_full(self, small_community):
+        full = cpi(small_community, 7, tol=1e-12).scores
+        family, neighbor, stranger = cpi_parts(
+            small_community, 7, 5, 10, tol=1e-12
+        )
+        np.testing.assert_allclose(family + neighbor + stranger, full, atol=1e-9)
+
+    def test_part_norms_match_lemma2(self, small_community):
+        c, s, t = 0.15, 5, 10
+        family, neighbor, stranger = cpi_parts(
+            small_community, 7, s, t, c=c, tol=1e-12
+        )
+        assert family.sum() == pytest.approx(family_norm(c, s))
+        assert neighbor.sum() == pytest.approx(neighbor_norm(c, s, t))
+        assert stranger.sum() == pytest.approx(stranger_norm(c, t), abs=1e-9)
+
+    def test_t_equals_s_gives_empty_neighbor(self, small_community):
+        family, neighbor, stranger = cpi_parts(small_community, 7, 5, 5)
+        assert np.abs(neighbor).sum() == 0.0
+
+    def test_invalid_parameters(self, small_community):
+        with pytest.raises(ParameterError):
+            cpi_parts(small_community, 7, 0, 5)
+        with pytest.raises(ParameterError):
+            cpi_parts(small_community, 7, 5, 4)
+
+
+class TestCPIParameterValidation:
+    @pytest.mark.parametrize("c", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_restart_probability(self, small_community, c):
+        with pytest.raises(ParameterError):
+            cpi(small_community, 0, c=c)
+
+    def test_invalid_tolerance(self, small_community):
+        with pytest.raises(ParameterError):
+            cpi(small_community, 0, tol=0.0)
+
+    def test_pagerank_mode(self, small_community):
+        result = cpi(small_community, None, tol=1e-12)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)

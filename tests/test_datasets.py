@@ -1,0 +1,101 @@
+"""Unit tests for repro.graph.datasets."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.datasets import (
+    DATASETS,
+    clear_cache,
+    dataset_names,
+    iter_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_seven_datasets(self):
+        assert len(DATASETS) == 7
+
+    def test_order_smallest_first(self):
+        names = dataset_names()
+        assert names[0] == "slashdot"
+        assert names[-1] == "friendster"
+        sizes = [DATASETS[n].analog_nodes for n in names]
+        assert sizes == sorted(sizes)
+
+    def test_paper_sizes_recorded(self):
+        spec = DATASETS["friendster"]
+        assert spec.paper_nodes == 68_349_466
+        assert spec.paper_edges == 2_586_147_869
+
+    def test_table2_parameters(self):
+        assert DATASETS["slashdot"].s_iteration == 5
+        assert DATASETS["slashdot"].t_iteration == 15
+        assert DATASETS["twitter"].s_iteration == 4
+        assert DATASETS["twitter"].t_iteration == 6
+
+    def test_density_ordering_mirrors_paper(self):
+        """m/n ratio ordering should match the original datasets."""
+        ratio = {
+            name: DATASETS[name].avg_degree for name in dataset_names()
+        }
+        assert ratio["slashdot"] < ratio["pokec"] < ratio["friendster"]
+
+
+class TestLoadDataset:
+    def test_load_small(self):
+        graph = load_dataset("slashdot", scale=0.1)
+        assert graph.num_nodes == 200
+        assert graph.dangling_nodes.size == 0
+
+    def test_case_insensitive(self):
+        graph = load_dataset("SLASHDOT", scale=0.1)
+        assert graph.num_nodes == 200
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("slashdot", scale=0.1)
+        b = load_dataset("slashdot", scale=0.1)
+        assert a is b
+
+    def test_clear_cache(self):
+        a = load_dataset("slashdot", scale=0.1)
+        clear_cache()
+        b = load_dataset("slashdot", scale=0.1)
+        assert a is not b
+
+    def test_scale_changes_size(self):
+        small = load_dataset("slashdot", scale=0.1)
+        large = load_dataset("slashdot", scale=0.2)
+        assert large.num_nodes == 2 * small.num_nodes
+
+    def test_minimum_size_floor(self):
+        graph = load_dataset("slashdot", scale=0.001)
+        assert graph.num_nodes >= 64
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ParameterError, match="unknown dataset"):
+            load_dataset("orkut")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ParameterError):
+            load_dataset("slashdot", scale=0.0)
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        clear_cache()
+        graph = load_dataset("slashdot")
+        assert graph.num_nodes == 200
+        clear_cache()
+
+    def test_env_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ParameterError):
+            load_dataset("slashdot")
+
+
+class TestIterDatasets:
+    def test_yields_all(self):
+        pairs = list(iter_datasets(scale=0.05))
+        assert len(pairs) == 7
+        assert pairs[0][0].name == "slashdot"
+        assert pairs[0][1].num_nodes >= 64

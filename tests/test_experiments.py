@@ -1,0 +1,177 @@
+"""Tests for the experiment harness: config, reporting, registry, drivers.
+
+Driver tests run at tiny scale — they verify the plumbing and the
+qualitative shapes, not benchmark-quality numbers.
+"""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import ExperimentResult, format_cell
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(scale=0.05, num_seeds=2, hubppr_seeds=1)
+
+
+class TestConfig:
+    def test_defaults_cover_all_datasets(self):
+        assert len(ExperimentConfig().datasets) == 7
+
+    def test_quick_and_full_presets(self):
+        assert ExperimentConfig.quick().num_seeds < ExperimentConfig.full().num_seeds
+        assert ExperimentConfig.full().num_seeds == 30
+
+    def test_with_datasets(self):
+        config = ExperimentConfig().with_datasets("slashdot")
+        assert config.datasets == ("slashdot",)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ParameterError):
+            ExperimentConfig(datasets=("orkut",))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ParameterError):
+            ExperimentConfig(scale=0)
+
+    def test_invalid_seeds(self):
+        with pytest.raises(ParameterError):
+            ExperimentConfig(num_seeds=0)
+
+
+class TestReporting:
+    def test_format_cell_variants(self):
+        assert format_cell(None) == "-"
+        assert format_cell(float("nan")) == "-"
+        assert format_cell("OOM") == "OOM"
+        assert format_cell(0.0) == "0"
+        assert format_cell(0.123456) == "0.1235"
+        assert format_cell(1e-9) == "1.000e-09"
+        assert format_cell(123456.0) == "1.235e+05"
+        assert format_cell(7) == "7"
+
+    def test_text_rendering(self):
+        result = ExperimentResult("x", "title", ["a", "b"])
+        result.add_row(1, 2.5)
+        result.add_note("footnote")
+        text = result.to_text()
+        assert "title" in text
+        assert "footnote" in text
+        assert "2.5" in text
+
+    def test_markdown_rendering(self):
+        result = ExperimentResult("x", "title", ["a"])
+        result.add_row("v")
+        md = result.to_markdown()
+        assert "| a |" in md
+        assert "| v |" in md
+
+    def test_csv_rendering_escapes(self):
+        result = ExperimentResult("x", "t", ["a,b", "c"])
+        result.add_row('has "quote"', "plain")
+        csv = result.to_csv()
+        assert '"a,b"' in csv
+        assert '""quote""' in csv
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "table2", "table3", "fig1", "fig3", "fig4",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "ablation", "scaling",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ParameterError):
+            run_experiment("fig99")
+
+
+class TestDrivers:
+    def test_table2(self, tiny_config):
+        results = run_experiment("table2", tiny_config)
+        assert len(results) == 1
+        assert len(results[0].rows) == 7
+
+    def test_table3_errors_below_bounds(self, tiny_config):
+        results = run_experiment("table3", tiny_config)
+        for row in results[0].rows:
+            na_bound, na_error = row[1], row[2]
+            sa_bound, sa_error = row[4], row[5]
+            tpa_bound, tpa_error = row[7], row[8]
+            assert na_error <= na_bound
+            assert sa_error <= sa_bound
+            assert tpa_error <= tpa_bound
+
+    def test_fig4_shapes(self, tiny_config):
+        nnz_table, ci_table = run_experiment("fig4", tiny_config)
+        first_nnz = nnz_table.rows[0][1]
+        last_nnz = nnz_table.rows[-1][1]
+        assert last_nnz > first_nnz
+        first_ci = ci_table.rows[0][1]
+        last_ci = ci_table.rows[-1][1]
+        assert last_ci < first_ci
+
+    def test_fig6_real_below_random(self, tiny_config):
+        config = tiny_config
+        results = run_experiment("fig6", config)
+        rows = results[0].rows
+        # At tiny scale individual datasets may wobble; require the
+        # majority shape.
+        wins = sum(1 for row in rows if row[1] < row[2])
+        assert wins >= len(rows) - 1
+
+    def test_fig8_error_decreases_with_s(self, tiny_config):
+        results = run_experiment("fig8", tiny_config)
+        for table in results:
+            errors = [row[2] for row in table.rows]
+            assert errors[0] > errors[-1]
+
+    def test_fig9_sa_decreases_na_increases(self, tiny_config):
+        results = run_experiment("fig9", tiny_config)
+        for table in results:
+            na = [row[2] for row in table.rows]
+            sa = [row[3] for row in table.rows]
+            assert na[0] < na[-1]
+            assert sa[0] > sa[-1]
+
+    def test_fig10_tpa_smaller_and_faster(self, tiny_config):
+        size_table, prep_table, online_table = run_experiment(
+            "fig10", tiny_config.with_datasets("slashdot")
+        )
+        # ratio column like "12x"
+        ratio = float(size_table.rows[0][3].rstrip("x"))
+        assert ratio > 1.0
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table3" in out
+
+    def test_no_arguments_is_error(self):
+        from repro.experiments.__main__ import main
+
+        assert main([]) == 2
+
+    def test_run_one(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        md_path = tmp_path / "out.md"
+        code = main(
+            [
+                "table2",
+                "--scale", "0.05",
+                "--seeds", "2",
+                "--markdown", str(md_path),
+            ]
+        )
+        assert code == 0
+        assert "Dataset statistics" in capsys.readouterr().out
+        assert md_path.exists()

@@ -1,0 +1,87 @@
+"""Unit tests for the FAST-PPR pair-PPR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fastppr import FastPPR
+from repro.exceptions import ParameterError
+from repro.ranking.rwr import rwr_direct
+
+
+@pytest.fixture(scope="module")
+def prepared(small_community):
+    method = FastPPR(seed=0, max_walks=40_000)
+    method.preprocess(small_community)
+    return method
+
+
+class TestFastPPR:
+    def test_pair_estimate_for_seed_itself(self, prepared, small_community):
+        source = 5
+        exact = rwr_direct(small_community, source)
+        estimate = prepared.query_pair(source, source)
+        assert estimate == pytest.approx(exact[source], rel=0.2)
+
+    def test_top_pairs_tracked(self, prepared, small_community):
+        source = 5
+        exact = rwr_direct(small_community, source)
+        for target in np.argsort(-exact)[:5]:
+            estimate = prepared.query_pair(source, int(target))
+            assert estimate == pytest.approx(exact[target], abs=0.02)
+
+    def test_frontier_threshold_scales_with_delta(self, small_community):
+        coarse = FastPPR(delta=1e-2, seed=0)
+        coarse.preprocess(small_community)
+        fine = FastPPR(delta=1e-6, seed=0)
+        fine.preprocess(small_community)
+        assert fine._epsilon_r < coarse._epsilon_r
+        assert fine._num_walks >= coarse._num_walks
+
+    def test_whole_vector_topk(self, small_community):
+        method = FastPPR(seed=0, max_walks=20_000)
+        method.preprocess(small_community)
+        from repro.metrics.accuracy import recall_at_k
+
+        exact = rwr_direct(small_community, 7)
+        approx = method.query(7)
+        assert recall_at_k(exact, approx, 30) >= 0.8
+
+    def test_no_preprocessed_data(self, prepared):
+        assert prepared.preprocessed_bytes() == 0
+
+    def test_pair_validation(self, prepared, small_community):
+        with pytest.raises(ParameterError):
+            prepared.query_pair(-1, 0)
+        with pytest.raises(ParameterError):
+            prepared.query_pair(0, small_community.num_nodes)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beta": 0.0},
+            {"walk_constant": 0.0},
+            {"delta": 0.0},
+            {"c": 1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            FastPPR(**kwargs)
+
+
+class TestBidirectionalAgreement:
+    def test_fastppr_and_bippr_agree(self, small_community):
+        """Two independent bidirectional estimators must agree on
+        significant pairs."""
+        from repro.baselines.bippr import BiPPR
+
+        fast = FastPPR(seed=0, max_walks=40_000)
+        fast.preprocess(small_community)
+        bi = BiPPR(seed=1, max_walks=40_000)
+        bi.preprocess(small_community)
+
+        exact = rwr_direct(small_community, 9)
+        for target in np.argsort(-exact)[:3]:
+            a = fast.query_pair(9, int(target))
+            b = bi.query_pair(9, int(target))
+            assert a == pytest.approx(b, abs=0.02)

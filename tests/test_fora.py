@@ -1,0 +1,77 @@
+"""Unit tests for the FORA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fora import Fora
+from repro.exceptions import MemoryBudgetExceeded, ParameterError
+from repro.metrics.accuracy import recall_at_k
+from repro.ranking.rwr import rwr_direct
+
+
+@pytest.fixture(scope="module")
+def prepared(medium_community):
+    method = Fora(seed=0)
+    method.preprocess(medium_community)
+    return method
+
+
+class TestFora:
+    def test_index_built(self, prepared):
+        assert prepared.preprocessed_bytes() > 0
+
+    def test_accuracy(self, prepared, medium_community):
+        exact = rwr_direct(medium_community, 6)
+        approx = prepared.query(6)
+        assert np.abs(exact - approx).sum() < 0.2
+
+    def test_high_recall(self, prepared, medium_community):
+        exact = rwr_direct(medium_community, 6)
+        approx = prepared.query(6)
+        assert recall_at_k(exact, approx, 100) >= 0.9
+
+    def test_scores_sum_near_one(self, prepared):
+        assert prepared.query(0).sum() == pytest.approx(1.0, abs=0.05)
+
+    def test_no_index_variant(self, medium_community):
+        method = Fora(use_index=False, seed=0)
+        method.preprocess(medium_community)
+        assert method.preprocessed_bytes() == 0
+        exact = rwr_direct(medium_community, 8)
+        approx = method.query(8)
+        assert recall_at_k(exact, approx, 100) >= 0.9
+
+    def test_index_and_no_index_similar_quality(self, medium_community):
+        exact = rwr_direct(medium_community, 10)
+        indexed = Fora(use_index=True, seed=1)
+        indexed.preprocess(medium_community)
+        online = Fora(use_index=False, seed=1)
+        online.preprocess(medium_community)
+        err_indexed = np.abs(exact - indexed.query(10)).sum()
+        err_online = np.abs(exact - online.query(10)).sum()
+        assert abs(err_indexed - err_online) < 0.15
+
+    def test_smaller_epsilon_more_walks(self, small_community):
+        loose = Fora(epsilon=1.0, seed=0)
+        loose.preprocess(small_community)
+        tight = Fora(epsilon=0.25, seed=0)
+        tight.preprocess(small_community)
+        assert tight.preprocessed_bytes() > loose.preprocessed_bytes()
+
+    def test_memory_budget_enforced(self, medium_community):
+        method = Fora(memory_budget_bytes=100, seed=0)
+        with pytest.raises(MemoryBudgetExceeded):
+            method.preprocess(medium_community)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            Fora(epsilon=0.0)
+        with pytest.raises(ParameterError):
+            Fora(c=0.0)
+
+    def test_deterministic_given_seed(self, small_community):
+        a = Fora(seed=5)
+        a.preprocess(small_community)
+        b = Fora(seed=5)
+        b.preprocess(small_community)
+        np.testing.assert_allclose(a.query(3), b.query(3))

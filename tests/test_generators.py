@@ -1,0 +1,184 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph.generators import (
+    community_graph,
+    complete_graph,
+    gnm_random_graph,
+    rewire_random,
+    ring_graph,
+    rmat_graph,
+    star_graph,
+)
+
+
+class TestCommunityGraph:
+    def test_node_count(self):
+        graph = community_graph(300, avg_degree=6, seed=1)
+        assert graph.num_nodes == 300
+
+    def test_no_dangling_nodes(self):
+        graph = community_graph(300, avg_degree=6, seed=2)
+        assert graph.dangling_nodes.size == 0
+        assert (graph.out_degree >= 1).all()
+
+    def test_edge_count_near_target(self):
+        graph = community_graph(1000, avg_degree=10, seed=3)
+        # Dedup and degree rounding allow slack, but the mean degree
+        # should land in the right ballpark.
+        assert 6 <= graph.num_edges / graph.num_nodes <= 14
+
+    def test_deterministic_given_seed(self):
+        a = community_graph(200, avg_degree=5, seed=7)
+        b = community_graph(200, avg_degree=5, seed=7)
+        np.testing.assert_array_equal(
+            a.adjacency.toarray(), b.adjacency.toarray()
+        )
+
+    def test_different_seeds_differ(self):
+        a = community_graph(200, avg_degree=5, seed=7)
+        b = community_graph(200, avg_degree=5, seed=8)
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_no_self_loops(self):
+        graph = community_graph(200, avg_degree=5, seed=9)
+        assert graph.adjacency.diagonal().sum() == 0
+
+    def test_community_structure_present(self):
+        """Most edges should stay within partitions at high p_in."""
+        from repro.graph.partition import partition_graph
+
+        graph = community_graph(
+            400, avg_degree=8, num_communities=8, p_in=0.9, seed=10
+        )
+        labels = partition_graph(graph, 8, seed=0)
+        src, dst = graph.edges()
+        same = (labels[src] == labels[dst]).mean()
+        # Recovered partitions won't be perfect, but structure must show.
+        assert same > 0.5
+
+    def test_reciprocity_increases_mutual_edges(self):
+        low = community_graph(400, avg_degree=8, reciprocity=0.0, seed=11)
+        high = community_graph(400, avg_degree=8, reciprocity=0.8, seed=11)
+
+        def mutual_fraction(graph):
+            adj = graph.adjacency
+            mutual = adj.multiply(adj.T).sum()
+            return mutual / graph.num_edges
+
+        assert mutual_fraction(high) > mutual_fraction(low)
+
+    def test_skewed_in_degree(self):
+        graph = community_graph(1000, avg_degree=8, seed=12)
+        in_degree = graph.in_degree
+        # Power-law-ish: max in-degree far exceeds the mean.
+        assert in_degree.max() > 5 * in_degree.mean()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 1, "avg_degree": 2},
+            {"n": 100, "avg_degree": 2, "p_in": 1.5},
+            {"n": 100, "avg_degree": 2, "num_communities": 0},
+            {"n": 100, "avg_degree": 2, "num_communities": 101},
+            {"n": 100, "avg_degree": 2, "reciprocity": -0.1},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            community_graph(seed=0, **kwargs)
+
+
+class TestRmatGraph:
+    def test_counts(self):
+        graph = rmat_graph(256, 2000, seed=1)
+        assert graph.num_nodes == 256
+        assert graph.num_edges <= 2000 + 256  # dangling fixes may add a few
+        assert graph.dangling_nodes.size == 0
+
+    def test_deterministic(self):
+        a = rmat_graph(128, 500, seed=5)
+        b = rmat_graph(128, 500, seed=5)
+        np.testing.assert_array_equal(a.adjacency.toarray(), b.adjacency.toarray())
+
+    def test_skewed_degrees(self):
+        graph = rmat_graph(1024, 10_000, seed=2)
+        assert graph.in_degree.max() > 4 * graph.in_degree.mean()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ParameterError):
+            rmat_graph(64, 100, a=0.9, b=0.9, c=0.9)
+
+    def test_too_small(self):
+        with pytest.raises(ParameterError):
+            rmat_graph(1, 10)
+
+
+class TestGnmRandomGraph:
+    def test_exact_edge_count_before_dangling_fix(self):
+        graph = gnm_random_graph(200, 1500, seed=1)
+        assert graph.num_nodes == 200
+        # Dangling fix can only add edges.
+        assert 1500 <= graph.num_edges <= 1500 + 200
+
+    def test_no_dangling(self):
+        graph = gnm_random_graph(100, 300, seed=2)
+        assert graph.dangling_nodes.size == 0
+
+    def test_no_self_loops(self):
+        graph = gnm_random_graph(100, 300, seed=3)
+        assert graph.adjacency.diagonal().sum() == 0
+
+    def test_deterministic(self):
+        a = gnm_random_graph(100, 400, seed=4)
+        b = gnm_random_graph(100, 400, seed=4)
+        np.testing.assert_array_equal(a.adjacency.toarray(), b.adjacency.toarray())
+
+    def test_m_bounds(self):
+        with pytest.raises(ParameterError):
+            gnm_random_graph(10, 5)  # m < n
+        with pytest.raises(ParameterError):
+            gnm_random_graph(10, 1000)  # m > n(n-1)
+
+    def test_flat_degree_distribution(self):
+        graph = gnm_random_graph(500, 5000, seed=5)
+        # ER in-degrees concentrate near the mean (no heavy tail).
+        assert graph.in_degree.max() < 4 * graph.in_degree.mean()
+
+
+class TestRewireRandom:
+    def test_preserves_counts(self, small_community):
+        rewired = rewire_random(small_community, seed=1)
+        assert rewired.num_nodes == small_community.num_nodes
+        # The GNM target is the original edge count; dangling repair may
+        # add at most one edge per node.
+        assert abs(rewired.num_edges - small_community.num_edges) <= small_community.num_nodes
+
+    def test_destroys_structure(self, small_community):
+        rewired = rewire_random(small_community, seed=2)
+        overlap = small_community.adjacency.multiply(rewired.adjacency).sum()
+        assert overlap < 0.1 * small_community.num_edges
+
+
+class TestDeterministicTopologies:
+    def test_ring(self):
+        graph = ring_graph(5)
+        assert graph.num_edges == 5
+        assert graph.out_neighbors(4).tolist() == [0]
+
+    def test_star(self):
+        graph = star_graph(5)
+        assert graph.num_edges == 8  # 4 out + 4 in
+        assert graph.out_degree[0] == 4
+
+    def test_complete(self):
+        graph = complete_graph(4)
+        assert graph.num_edges == 12
+
+    @pytest.mark.parametrize("factory", [ring_graph, star_graph, complete_graph])
+    def test_minimum_size(self, factory):
+        with pytest.raises(ParameterError):
+            factory(1)

@@ -1,0 +1,74 @@
+"""Unit tests for the HubPPR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hubppr import HubPPR
+from repro.exceptions import MemoryBudgetExceeded, ParameterError
+from repro.metrics.accuracy import recall_at_k
+from repro.ranking.rwr import rwr_direct
+
+
+@pytest.fixture(scope="module")
+def prepared(small_community):
+    method = HubPPR(seed=0, max_walks=30_000, refine_top=120)
+    method.preprocess(small_community)
+    return method
+
+
+class TestHubPPR:
+    def test_index_built(self, prepared):
+        assert prepared.preprocessed_bytes() > 0
+
+    def test_hubs_are_high_degree(self, prepared, small_community):
+        total_degree = small_community.out_degree + small_community.in_degree
+        hubs = prepared._hubs
+        non_hub_max = np.delete(total_degree, hubs).max()
+        assert total_degree[hubs].min() >= non_hub_max * 0.5
+
+    def test_high_topk_recall(self, prepared, small_community):
+        exact = rwr_direct(small_community, 4)
+        approx = prepared.query(4)
+        assert recall_at_k(exact, approx, 50) >= 0.9
+
+    def test_refined_pair_scores_accurate(self, prepared, small_community):
+        """Refined targets should carry near-exact pair scores."""
+        seed = 4
+        exact = rwr_direct(small_community, seed)
+        approx = prepared.query(seed)
+        top = np.argsort(-exact)[:10]
+        for target in top:
+            assert approx[target] == pytest.approx(
+                exact[target], abs=0.02
+            )
+
+    def test_hub_seed_uses_forward_index(self, prepared):
+        hub = int(prepared._hubs[0])
+        scores = prepared.query(hub)
+        assert scores.sum() == pytest.approx(1.0, abs=0.25)
+
+    def test_walk_cap_bounds_index(self, small_community):
+        capped = HubPPR(seed=0, max_walks=30_000, hub_walk_cap=100)
+        capped.preprocess(small_community)
+        uncapped = HubPPR(seed=0, max_walks=30_000, hub_walk_cap=5_000)
+        uncapped.preprocess(small_community)
+        assert capped.preprocessed_bytes() < uncapped.preprocessed_bytes()
+
+    def test_memory_budget_enforced(self, small_community):
+        method = HubPPR(seed=0, memory_budget_bytes=50)
+        with pytest.raises(MemoryBudgetExceeded):
+            method.preprocess(small_community)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epsilon": 0.0},
+            {"hub_fraction": 0.0},
+            {"hub_fraction": 1.0},
+            {"backward_rmax": 0.0},
+            {"c": 0.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            HubPPR(**kwargs)

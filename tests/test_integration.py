@@ -1,0 +1,124 @@
+"""Integration tests: all methods against ground truth on shared graphs,
+and cross-module consistency checks mirroring the paper's claims."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BRPPR, BearApprox, BePI, Fora, HubPPR, NBLin
+from repro.core.cpi import cpi
+from repro.core.tpa import TPA
+from repro.graph.datasets import load_dataset
+from repro.metrics.accuracy import recall_at_k
+from repro.ranking.rwr import rwr_direct
+
+
+@pytest.fixture(scope="module")
+def analog():
+    """A small analog of the paper's smallest dataset."""
+    return load_dataset("slashdot", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def exact_scores(analog):
+    rng = np.random.default_rng(7)
+    seeds = rng.choice(analog.num_nodes, size=3, replace=False)
+    return {int(s): rwr_direct(analog, int(s)) for s in seeds}
+
+
+class TestAllMethodsEndToEnd:
+    def test_accurate_methods_reach_high_recall(self, analog, exact_scores):
+        """Figure 7's claim: all methods except NB-LIN track the exact
+        top-k closely."""
+        methods = [
+            TPA(s_iteration=5, t_iteration=10),
+            BRPPR(),
+            BearApprox(),
+            Fora(seed=0),
+            BePI(),
+        ]
+        for method in methods:
+            method.preprocess(analog)
+            for seed, exact in exact_scores.items():
+                approx = method.query(seed)
+                recall = recall_at_k(exact, approx, 50)
+                assert recall >= 0.8, f"{method.name} recall {recall}"
+
+    def test_hubppr_topk(self, analog, exact_scores):
+        method = HubPPR(seed=0, max_walks=30_000, refine_top=80)
+        method.preprocess(analog)
+        seed, exact = next(iter(exact_scores.items()))
+        approx = method.query(seed)
+        assert recall_at_k(exact, approx, 50) >= 0.8
+
+    def test_nblin_runs_but_least_accurate(self, analog, exact_scores):
+        nblin = NBLin(seed=0)
+        nblin.preprocess(analog)
+        tpa = TPA(s_iteration=5, t_iteration=10)
+        tpa.preprocess(analog)
+        seed, exact = next(iter(exact_scores.items()))
+        recall_nblin = recall_at_k(exact, nblin.query(seed), 50)
+        recall_tpa = recall_at_k(exact, tpa.query(seed), 50)
+        assert recall_nblin <= recall_tpa + 0.05
+
+
+class TestMemoryOrdering:
+    def test_tpa_has_smallest_preprocessed_data(self, analog):
+        """Figure 1(a)'s headline: TPA stores the least."""
+        tpa = TPA(s_iteration=5, t_iteration=10)
+        tpa.preprocess(analog)
+        heavy = [
+            BearApprox(),
+            NBLin(seed=0),
+            Fora(seed=0),
+            HubPPR(seed=0, max_walks=10_000),
+            BePI(),
+        ]
+        for method in heavy:
+            method.preprocess(analog)
+            assert method.preprocessed_bytes() > tpa.preprocessed_bytes(), method.name
+
+
+class TestGroundTruthConsistency:
+    def test_bepi_agrees_with_cpi(self, analog):
+        """Two independent exact solvers must agree."""
+        bepi = BePI()
+        bepi.preprocess(analog)
+        for seed in (1, 50):
+            via_bepi = bepi.query(seed)
+            via_cpi = cpi(analog, seed, tol=1e-13).scores
+            np.testing.assert_allclose(via_bepi, via_cpi, atol=1e-7)
+
+    def test_tpa_parts_reconstruct_query(self, analog):
+        method = TPA(s_iteration=5, t_iteration=10)
+        method.preprocess(analog)
+        parts = method.query_parts(3)
+        np.testing.assert_allclose(parts.scores, method.query(3))
+
+    def test_exact_rwr_is_fixed_point(self, analog):
+        """r = (1-c) A~^T r + c q — the defining equation of Section II-B."""
+        c = 0.15
+        seed = 11
+        r = rwr_direct(analog, seed, c=c)
+        q = np.zeros(analog.num_nodes)
+        q[seed] = 1.0
+        reconstructed = (1 - c) * analog.propagate(r) + c * q
+        np.testing.assert_allclose(reconstructed, r, atol=1e-9)
+
+    def test_pagerank_is_fixed_point(self, analog):
+        from repro.ranking import pagerank
+
+        c = 0.15
+        p = pagerank(analog, tol=1e-13)
+        reconstructed = (1 - c) * analog.propagate(p) + c / analog.num_nodes
+        np.testing.assert_allclose(reconstructed, p, atol=1e-9)
+
+
+class TestPaperClaimStrangerComplement:
+    def test_total_error_below_sum_of_parts(self, analog):
+        """Section IV-C: the two approximations compensate — the total TPA
+        error is below the sum of the part errors."""
+        from repro.experiments.table3 import measure_errors
+
+        seeds = np.array([3, 77, 150])
+        na_error, sa_error, total_error = measure_errors(analog, 5, 10, seeds)
+        assert total_error <= na_error + sa_error

@@ -1,0 +1,157 @@
+"""Unit tests for repro.metrics (accuracy, memory, timing)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import MemoryBudgetExceeded, ParameterError
+from repro.metrics.accuracy import (
+    l1_error,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    top_k,
+)
+from repro.metrics.memory import MemoryBudget, format_bytes, sparse_nbytes
+from repro.metrics.timing import Timer, time_callable
+
+
+class TestL1Error:
+    def test_zero_for_identical(self):
+        x = np.array([0.1, 0.9])
+        assert l1_error(x, x) == 0.0
+
+    def test_simple_difference(self):
+        assert l1_error(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 2.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            l1_error(np.zeros(3), np.zeros(4))
+
+
+class TestTopK:
+    def test_descending_order(self):
+        scores = np.array([0.1, 0.5, 0.3])
+        assert top_k(scores, 3).tolist() == [1, 2, 0]
+
+    def test_tie_break_lowest_id_first(self):
+        scores = np.array([0.5, 0.5, 0.1])
+        assert top_k(scores, 2).tolist() == [0, 1]
+
+    def test_k_larger_than_n(self):
+        assert top_k(np.array([1.0, 2.0]), 10).size == 2
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            top_k(np.array([1.0]), 0)
+
+
+class TestRecall:
+    def test_perfect(self):
+        exact = np.array([0.4, 0.3, 0.2, 0.1])
+        assert recall_at_k(exact, exact, 2) == 1.0
+
+    def test_half(self):
+        exact = np.array([0.4, 0.3, 0.2, 0.1])
+        approx = np.array([0.4, 0.1, 0.2, 0.3])
+        assert recall_at_k(exact, approx, 2) == 0.5
+
+    def test_k_exceeding_n_degrades_to_full_overlap(self):
+        exact = np.array([0.4, 0.6])
+        approx = np.array([0.6, 0.4])
+        assert recall_at_k(exact, approx, 5) == 1.0
+
+    def test_precision_equals_recall_here(self):
+        exact = np.array([0.4, 0.3, 0.2, 0.1])
+        approx = np.array([0.4, 0.1, 0.2, 0.3])
+        assert precision_at_k(exact, approx, 2) == recall_at_k(exact, approx, 2)
+
+
+class TestNDCG:
+    def test_perfect_ranking(self):
+        exact = np.array([0.5, 0.3, 0.2])
+        assert ndcg_at_k(exact, exact, 3) == pytest.approx(1.0)
+
+    def test_worse_ranking_scores_lower(self):
+        exact = np.array([0.5, 0.3, 0.2, 0.0])
+        reversed_scores = exact[::-1].copy()
+        assert ndcg_at_k(exact, reversed_scores, 4) < 1.0
+
+    def test_zero_relevance(self):
+        assert ndcg_at_k(np.zeros(3), np.zeros(3), 3) == 0.0
+
+
+class TestMemoryBudget:
+    def test_allows_within(self):
+        budget = MemoryBudget(1000)
+        budget.check("m", 999)
+        assert budget.allows(1000)
+
+    def test_raises_over(self):
+        budget = MemoryBudget(1000)
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            budget.check("m", 1001)
+        assert excinfo.value.method == "m"
+        assert excinfo.value.required_bytes == 1001
+
+    def test_positive_limit_required(self):
+        with pytest.raises(ParameterError):
+            MemoryBudget(0)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2048, "2.0 KB"),
+            (5 * 1024 * 1024, "5.0 MB"),
+            (3 * 1024**3, "3.0 GB"),
+        ],
+    )
+    def test_rendering(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            format_bytes(-1)
+
+
+class TestSparseNbytes:
+    def test_csr(self):
+        matrix = sp.csr_array(np.eye(10))
+        expected = (
+            matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        )
+        assert sparse_nbytes(matrix) == expected
+
+    def test_coo(self):
+        matrix = sp.coo_array(np.eye(4))
+        assert sparse_nbytes(matrix) > 0
+
+    def test_unsupported(self):
+        with pytest.raises(ParameterError):
+            sparse_nbytes("not a matrix")
+
+
+class TestTiming:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.seconds >= 0.0
+
+    def test_time_callable_stats(self):
+        result, stats = time_callable(lambda: 42, repeats=5)
+        assert result == 42
+        assert stats.repeats == 5
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    def test_time_callable_median_even(self):
+        _, stats = time_callable(lambda: None, repeats=4)
+        assert stats.median >= 0.0
+
+    def test_repeats_positive(self):
+        with pytest.raises(ParameterError):
+            time_callable(lambda: None, repeats=0)

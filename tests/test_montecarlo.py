@@ -1,0 +1,121 @@
+"""Unit tests for the Monte-Carlo walk engine and walk index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.montecarlo import WalkIndex, monte_carlo_rwr, sample_walk_endpoints
+from repro.exceptions import ParameterError
+from repro.ranking.rwr import rwr_direct
+
+
+class TestSampleWalkEndpoints:
+    def test_shape_matches_starts(self, small_community):
+        starts = np.array([0, 1, 2, 3])
+        stops = sample_walk_endpoints(small_community, starts, rng=0)
+        assert stops.shape == starts.shape
+
+    def test_endpoints_in_range(self, small_community):
+        starts = np.zeros(500, dtype=np.int64)
+        stops = sample_walk_endpoints(small_community, starts, rng=1)
+        assert stops.min() >= 0
+        assert stops.max() < small_community.num_nodes
+
+    def test_deterministic_with_seed(self, small_community):
+        starts = np.zeros(100, dtype=np.int64)
+        a = sample_walk_endpoints(small_community, starts, rng=42)
+        b = sample_walk_endpoints(small_community, starts, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_high_restart_probability_stays_home(self, small_community):
+        """With c close to 1 nearly every walk stops at its start."""
+        starts = np.zeros(1000, dtype=np.int64)
+        stops = sample_walk_endpoints(small_community, starts, c=0.99, rng=2)
+        assert (stops == 0).mean() > 0.95
+
+    def test_invalid_c(self, small_community):
+        with pytest.raises(ParameterError):
+            sample_walk_endpoints(small_community, np.zeros(1, dtype=np.int64), c=0.0)
+
+
+class TestMonteCarloRWR:
+    def test_distribution_sums_to_one(self, small_community):
+        estimate = monte_carlo_rwr(small_community, 0, num_walks=1000, rng=0)
+        assert estimate.sum() == pytest.approx(1.0)
+
+    def test_unbiased_estimate(self, small_community):
+        """MC stop frequencies approximate the exact RWR vector."""
+        exact = rwr_direct(small_community, 5)
+        estimate = monte_carlo_rwr(small_community, 5, num_walks=60_000, rng=3)
+        # L1 error of an n-cell multinomial with 60k samples is modest.
+        assert np.abs(exact - estimate).sum() < 0.25
+        # The heavy hitters must be found.
+        top_exact = set(np.argsort(-exact)[:10].tolist())
+        top_mc = set(np.argsort(-estimate)[:10].tolist())
+        assert len(top_exact & top_mc) >= 7
+
+    def test_seed_gets_highest_mass(self, small_community):
+        estimate = monte_carlo_rwr(small_community, 9, num_walks=20_000, rng=4)
+        assert int(np.argmax(estimate)) == 9
+
+    def test_requires_walks(self, small_community):
+        with pytest.raises(ParameterError):
+            monte_carlo_rwr(small_community, 0, num_walks=0)
+
+
+class TestWalkIndex:
+    def test_capacity_respected(self, small_community):
+        capacity = np.zeros(small_community.num_nodes, dtype=np.int64)
+        capacity[3] = 17
+        capacity[5] = 4
+        index = WalkIndex(small_community, capacity, rng=0)
+        assert index.capacity(3) == 17
+        assert index.capacity(5) == 4
+        assert index.capacity(0) == 0
+        assert index.total_walks == 21
+
+    def test_endpoint_slicing(self, small_community):
+        capacity = np.full(small_community.num_nodes, 3, dtype=np.int64)
+        index = WalkIndex(small_community, capacity, rng=1)
+        assert index.endpoints(7).size == 3
+        assert index.endpoints(7, count=2).size == 2
+        assert index.endpoints(7, count=99).size == 3
+
+    def test_endpoints_valid_nodes(self, small_community):
+        capacity = np.full(small_community.num_nodes, 2, dtype=np.int64)
+        index = WalkIndex(small_community, capacity, rng=2)
+        for node in (0, 10, 50):
+            stops = index.endpoints(node)
+            assert stops.min() >= 0
+            assert stops.max() < small_community.num_nodes
+
+    def test_nbytes_grows_with_capacity(self, small_community):
+        small = WalkIndex(
+            small_community,
+            np.full(small_community.num_nodes, 1, dtype=np.int64),
+            rng=0,
+        )
+        large = WalkIndex(
+            small_community,
+            np.full(small_community.num_nodes, 10, dtype=np.int64),
+            rng=0,
+        )
+        assert large.nbytes() > small.nbytes()
+
+    def test_zero_capacity_everywhere(self, small_community):
+        index = WalkIndex(
+            small_community,
+            np.zeros(small_community.num_nodes, dtype=np.int64),
+            rng=0,
+        )
+        assert index.total_walks == 0
+        assert index.endpoints(0).size == 0
+
+    def test_wrong_capacity_shape(self, small_community):
+        with pytest.raises(ParameterError):
+            WalkIndex(small_community, np.zeros(3, dtype=np.int64))
+
+    def test_negative_capacity(self, small_community):
+        capacity = np.zeros(small_community.num_nodes, dtype=np.int64)
+        capacity[0] = -1
+        with pytest.raises(ParameterError):
+            WalkIndex(small_community, capacity)

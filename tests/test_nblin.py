@@ -1,0 +1,84 @@
+"""Unit tests for the NB_LIN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nblin import NBLin
+from repro.exceptions import MemoryBudgetExceeded, ParameterError
+from repro.metrics.accuracy import recall_at_k
+from repro.ranking.rwr import rwr_direct
+
+
+@pytest.fixture(scope="module")
+def prepared(medium_community):
+    method = NBLin(rank=150, seed=0)
+    method.preprocess(medium_community)
+    return method
+
+
+class TestNBLin:
+    def test_preprocessed_bytes_positive(self, prepared):
+        assert prepared.preprocessed_bytes() > 0
+
+    def test_reasonable_accuracy(self, prepared, medium_community):
+        exact = rwr_direct(medium_community, 3)
+        approx = prepared.query(3)
+        # NB-LIN is the least accurate method in the paper; it should be
+        # in the right ballpark but not exact.
+        assert np.abs(exact - approx).sum() < 1.0
+
+    def test_finds_top_candidates(self, prepared, medium_community):
+        """NB_LIN is the paper's least accurate method (Figure 7); it
+        should still place clearly better than chance on the top-50."""
+        exact = rwr_direct(medium_community, 3)
+        approx = prepared.query(3)
+        chance = 50 / medium_community.num_nodes
+        assert recall_at_k(exact, approx, 50) > 3 * chance
+
+    def test_higher_rank_more_accurate(self, small_community):
+        exact = rwr_direct(small_community, 0)
+        errors = []
+        for rank in (5, 120):
+            method = NBLin(rank=rank, seed=0)
+            method.preprocess(small_community)
+            errors.append(np.abs(exact - method.query(0)).sum())
+        assert errors[1] < errors[0]
+
+    def test_full_rank_single_partition_is_exact(self):
+        """With one partition the whole matrix lives in the block inverse,
+        so NB_LIN degenerates to an exact solve."""
+        from repro.graph.generators import community_graph
+
+        graph = community_graph(80, avg_degree=5, seed=6)
+        method = NBLin(num_partitions=1, rank=2, seed=0)
+        method.preprocess(graph)
+        exact = rwr_direct(graph, 7)
+        np.testing.assert_allclose(method.query(7), exact, atol=1e-8)
+
+    def test_memory_budget_enforced(self, medium_community):
+        method = NBLin(memory_budget_bytes=1024, seed=0)
+        with pytest.raises(MemoryBudgetExceeded):
+            method.preprocess(medium_community)
+
+    def test_drop_tolerance_shrinks_storage(self, small_community):
+        dense = NBLin(drop_tolerance=0.0, seed=0)
+        dense.preprocess(small_community)
+        sparse = NBLin(drop_tolerance=0.05, seed=0)
+        sparse.preprocess(small_community)
+        # Dropping can only reduce the dense inverse nbytes... the arrays
+        # stay dense, but the zeroed entries compress in the sparse parts;
+        # at minimum it must not grow.
+        assert sparse.preprocessed_bytes() <= dense.preprocessed_bytes()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            NBLin(drop_tolerance=-1.0)
+        with pytest.raises(ParameterError):
+            NBLin(c=0.0)
+
+    def test_deterministic(self, small_community):
+        a = NBLin(rank=20, seed=1)
+        a.preprocess(small_community)
+        b = NBLin(rank=20, seed=1)
+        b.preprocess(small_community)
+        np.testing.assert_allclose(a.query(0), b.query(0))

@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.parameters — S/T selection and sweeps."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import select_parameters, sweep_s, sweep_t
+from repro.exceptions import ParameterError
+
+
+class TestSweepS:
+    def test_points_returned_in_order(self, small_community):
+        points = sweep_s(small_community, [2, 3, 4], t_iteration=8, num_seeds=3)
+        assert [p.value for p in points] == [2, 3, 4]
+
+    def test_error_decreases_with_s(self, small_community):
+        points = sweep_s(small_community, [2, 6], t_iteration=8, num_seeds=5)
+        assert points[0].l1_error > points[-1].l1_error
+
+    def test_times_positive(self, small_community):
+        points = sweep_s(small_community, [3], t_iteration=8, num_seeds=2)
+        assert points[0].online_seconds > 0
+
+    def test_s_must_stay_below_t(self, small_community):
+        with pytest.raises(ParameterError):
+            sweep_s(small_community, [8], t_iteration=8)
+
+
+class TestSweepT:
+    def test_points_returned_in_order(self, small_community):
+        points = sweep_t(small_community, [6, 8, 10], s_iteration=5, num_seeds=3)
+        assert [p.value for p in points] == [6, 8, 10]
+
+    def test_stranger_error_decreases_with_t(self, small_community):
+        points = sweep_t(small_community, [6, 20], s_iteration=5, num_seeds=5)
+        assert points[0].stranger_error > points[-1].stranger_error
+
+    def test_neighbor_error_increases_with_t(self, small_community):
+        points = sweep_t(small_community, [6, 20], s_iteration=5, num_seeds=5)
+        assert points[0].neighbor_error < points[-1].neighbor_error
+
+    def test_t_equals_s_allowed(self, small_community):
+        points = sweep_t(small_community, [5], s_iteration=5, num_seeds=2)
+        assert points[0].neighbor_error == pytest.approx(0.0)
+
+    def test_t_below_s_rejected(self, small_community):
+        with pytest.raises(ParameterError):
+            sweep_t(small_community, [4], s_iteration=5)
+
+    def test_online_seconds_nan_for_t_sweep(self, small_community):
+        points = sweep_t(small_community, [6], s_iteration=5, num_seeds=2)
+        assert math.isnan(points[0].online_seconds)
+
+
+class TestSelectParameters:
+    def test_s_satisfies_target_bound(self, small_community):
+        target = 0.3
+        s, t = select_parameters(small_community, target_error=target, num_seeds=2)
+        assert 2 * 0.85**s <= target
+        assert t >= s
+
+    def test_tighter_target_needs_larger_s(self, small_community):
+        s_loose, _ = select_parameters(
+            small_community, target_error=0.8, num_seeds=2
+        )
+        s_tight, _ = select_parameters(
+            small_community, target_error=0.1, num_seeds=2
+        )
+        assert s_tight > s_loose
+
+    def test_candidate_override(self, small_community):
+        _, t = select_parameters(
+            small_community, target_error=0.5, t_candidates=[9], num_seeds=2
+        )
+        assert t == 9
+
+    def test_invalid_target(self, small_community):
+        with pytest.raises(ParameterError):
+            select_parameters(small_community, target_error=0.0)
+        with pytest.raises(ParameterError):
+            select_parameters(small_community, target_error=2.5)

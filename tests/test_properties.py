@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the paper's lemmas on arbitrary generated graphs and
+parameters rather than fixed fixtures:
+
+* column stochasticity of the propagation operator,
+* the exact interim-norm law ``‖x(i)‖₁ = c(1-c)^i`` and Lemma 2 norms,
+* the Theorem 2 bound for TPA on any graph/seed/parameter combination,
+* forward-push mass conservation,
+* metric sanity (recall bounds, L1 symmetry).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.forward_push import forward_push
+from repro.core.bounds import family_norm, neighbor_norm, stranger_norm, total_bound
+from repro.core.cpi import cpi, cpi_parts
+from repro.core.tpa import TPA
+from repro.graph.generators import community_graph, gnm_random_graph
+from repro.metrics.accuracy import l1_error, recall_at_k
+from repro.ranking.rwr import rwr_direct
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _graph_strategy():
+    """Random small graphs: either community-structured or ER."""
+    return st.builds(
+        lambda kind, n, d, seed: (
+            community_graph(n, avg_degree=d, num_communities=4, seed=seed)
+            if kind
+            else gnm_random_graph(n, n * d, seed=seed)
+        ),
+        st.booleans(),
+        st.integers(min_value=20, max_value=120),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+
+
+class TestStochasticity:
+    @_SETTINGS
+    @given(graph=_graph_strategy(), seed=st.integers(0, 10_000))
+    def test_propagate_preserves_mass(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random(graph.num_nodes)
+        y = graph.propagate(x)
+        assert y.sum() == pytest.approx(x.sum(), rel=1e-9)
+        assert (y >= 0).all()
+
+    @_SETTINGS
+    @given(
+        graph=_graph_strategy(),
+        c=st.floats(min_value=0.05, max_value=0.9),
+        i=st.integers(min_value=0, max_value=12),
+    )
+    def test_interim_norm_law(self, graph, c, i):
+        """‖x(i)‖₁ = c (1-c)^i for any graph and seed (Lemma 2's engine)."""
+        result = cpi(graph, 0, c=c, start_iteration=i, terminal_iteration=i,
+                     tol=1e-300, max_iterations=10_000)
+        assert result.scores.sum() == pytest.approx(c * (1 - c) ** i, rel=1e-9)
+
+
+class TestLemma2:
+    @_SETTINGS
+    @given(
+        graph=_graph_strategy(),
+        c=st.floats(min_value=0.05, max_value=0.5),
+        s=st.integers(min_value=1, max_value=6),
+        gap=st.integers(min_value=0, max_value=8),
+    )
+    def test_part_norms(self, graph, c, s, gap):
+        t = s + gap
+        family, neighbor, stranger = cpi_parts(graph, 0, s, t, c=c, tol=1e-12)
+        assert family.sum() == pytest.approx(family_norm(c, s), abs=1e-9)
+        assert neighbor.sum() == pytest.approx(neighbor_norm(c, s, t), abs=1e-9)
+        assert stranger.sum() == pytest.approx(stranger_norm(c, t), abs=1e-8)
+
+
+class TestTheorem2:
+    @_SETTINGS
+    @given(
+        graph=_graph_strategy(),
+        s=st.integers(min_value=1, max_value=6),
+        gap=st.integers(min_value=1, max_value=8),
+        seed_fraction=st.floats(min_value=0.0, max_value=0.999),
+    )
+    def test_tpa_error_within_bound(self, graph, s, gap, seed_fraction):
+        seed = int(seed_fraction * graph.num_nodes)
+        method = TPA(s_iteration=s, t_iteration=s + gap)
+        method.preprocess(graph)
+        exact = rwr_direct(graph, seed)
+        error = l1_error(exact, method.query(seed))
+        assert error <= total_bound(0.15, s) + 1e-8
+
+
+class TestForwardPushInvariants:
+    @_SETTINGS
+    @given(
+        graph=_graph_strategy(),
+        rmax=st.floats(min_value=1e-5, max_value=1e-2),
+        seed_fraction=st.floats(min_value=0.0, max_value=0.999),
+    )
+    def test_mass_conservation(self, graph, rmax, seed_fraction):
+        seed = int(seed_fraction * graph.num_nodes)
+        result = forward_push(graph, seed, rmax=rmax)
+        total = result.estimate.sum() + result.residual.sum()
+        assert total == pytest.approx(1.0, abs=1e-9)
+        assert (result.estimate >= 0).all()
+        assert (result.residual >= -1e-15).all()
+
+
+class TestMetricProperties:
+    @_SETTINGS
+    @given(
+        data=st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        ),
+        k=st.integers(min_value=1, max_value=20),
+    )
+    def test_recall_bounds(self, data, k):
+        exact = np.asarray(data)
+        rng = np.random.default_rng(0)
+        approx = rng.permutation(exact)
+        value = recall_at_k(exact, approx, k)
+        assert 0.0 <= value <= 1.0
+        assert recall_at_k(exact, exact, k) == 1.0
+
+    @_SETTINGS
+    @given(
+        data=st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_l1_symmetry_and_identity(self, data):
+        x = np.asarray(data)
+        y = x[::-1].copy()
+        assert l1_error(x, y) == pytest.approx(l1_error(y, x))
+        assert l1_error(x, x) == 0.0

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis) for the graph substrate.
+
+Complements ``test_properties.py`` (core invariants) with substrate-level
+round trips and orderings on arbitrary generated graphs.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph.generators import community_graph, gnm_random_graph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.slashburn import slashburn
+from repro.graph.stats import gini_coefficient
+from repro.metrics.memory import format_bytes
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _graph_strategy():
+    return st.builds(
+        lambda kind, n, d, seed: (
+            community_graph(n, avg_degree=d, num_communities=4, seed=seed)
+            if kind
+            else gnm_random_graph(n, n * d, seed=seed)
+        ),
+        st.booleans(),
+        st.integers(min_value=16, max_value=100),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+
+
+class TestIORoundTrip:
+    @_SETTINGS
+    @given(graph=_graph_strategy())
+    def test_write_read_identity(self, graph):
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer)
+        buffer.seek(0)
+        loaded, ids = read_edge_list(buffer)
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == graph.num_edges
+        np.testing.assert_array_equal(
+            loaded.adjacency.toarray(), graph.adjacency.toarray()
+        )
+
+
+class TestPermutationInvariance:
+    @_SETTINGS
+    @given(graph=_graph_strategy(), seed=st.integers(0, 1_000))
+    def test_rwr_commutes_with_relabeling(self, graph, seed):
+        """Relabeling nodes then querying equals querying then relabeling."""
+        from repro.ranking.rwr import rwr_power
+
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(graph.num_nodes)
+        permuted = graph.permute(perm)
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(graph.num_nodes)
+
+        original_scores = rwr_power(graph, int(perm[0]), tol=1e-12)
+        permuted_scores = rwr_power(permuted, 0, tol=1e-12)
+        # New node i is old node perm[i].
+        np.testing.assert_allclose(
+            permuted_scores, original_scores[perm], atol=1e-9
+        )
+
+
+class TestSlashburnProperties:
+    @_SETTINGS
+    @given(graph=_graph_strategy(), k=st.integers(min_value=1, max_value=8))
+    def test_permutation_and_cover(self, graph, k):
+        ordering = slashburn(graph, k=k)
+        n = graph.num_nodes
+        np.testing.assert_array_equal(
+            np.sort(ordering.permutation), np.arange(n)
+        )
+        if ordering.num_hubs < n:
+            covered = np.sort(np.concatenate(ordering.blocks))
+            np.testing.assert_array_equal(
+                covered, np.arange(ordering.num_hubs, n)
+            )
+
+
+class TestStatsProperties:
+    @_SETTINGS
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_gini_in_unit_interval(self, values):
+        coefficient = gini_coefficient(np.asarray(values))
+        assert -1e-9 <= coefficient < 1.0
+
+    @_SETTINGS
+    @given(num_bytes=st.integers(min_value=0, max_value=2**50))
+    def test_format_bytes_total_function(self, num_bytes):
+        text = format_bytes(num_bytes)
+        assert any(text.endswith(unit) for unit in (" B", " KB", " MB", " GB", " TB"))
+
+
+class TestDiskGraphProperty:
+    @_SETTINGS
+    @given(
+        graph=_graph_strategy(),
+        stripe=st.integers(min_value=1, max_value=64),
+        seed=st.integers(0, 1_000),
+    )
+    def test_disk_propagate_equivalent(self, graph, stripe, seed, tmp_path_factory):
+        from repro.graph.diskgraph import DiskGraph
+
+        directory = tmp_path_factory.mktemp("prop_disk")
+        disk = DiskGraph.build(graph, directory, rows_per_stripe=stripe)
+        x = np.random.default_rng(seed).random(graph.num_nodes)
+        np.testing.assert_allclose(
+            disk.propagate(x), graph.propagate(x), atol=1e-12
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for forward and backward push."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.backward_push import backward_push
+from repro.baselines.forward_push import forward_push
+from repro.exceptions import ParameterError
+from repro.ranking.rwr import rwr_direct
+
+
+class TestForwardPush:
+    def test_mass_conservation(self, small_community):
+        """Every push moves c·r(v) to the estimate and keeps (1-c)·r(v) as
+        residual, so estimate + residual always totals exactly 1."""
+        result = forward_push(small_community, 0, rmax=1e-4)
+        total = result.estimate.sum() + result.residual.sum()
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_invariant_recovers_exact(self, small_community):
+        """π_s = p + Σ_v r(v) π_v — checked against direct solves."""
+        seed = 3
+        result = forward_push(small_community, seed, rmax=1e-3, c=0.15)
+        reconstruction = result.estimate.copy()
+        for node in np.flatnonzero(result.residual):
+            reconstruction += result.residual[node] * rwr_direct(
+                small_community, int(node)
+            )
+        exact = rwr_direct(small_community, seed)
+        np.testing.assert_allclose(reconstruction, exact, atol=1e-8)
+
+    def test_residual_below_threshold(self, small_community):
+        rmax = 1e-4
+        result = forward_push(small_community, 0, rmax=rmax, degree_scaled=True)
+        thresholds = rmax * np.maximum(small_community.out_degree, 1)
+        assert (result.residual <= thresholds + 1e-12).all()
+
+    def test_unscaled_threshold(self, small_community):
+        rmax = 1e-4
+        result = forward_push(small_community, 0, rmax=rmax, degree_scaled=False)
+        assert (result.residual <= rmax + 1e-12).all()
+
+    def test_smaller_rmax_more_accurate(self, small_community):
+        exact = rwr_direct(small_community, 5)
+        coarse = forward_push(small_community, 5, rmax=1e-2).estimate
+        fine = forward_push(small_community, 5, rmax=1e-5).estimate
+        assert np.abs(fine - exact).sum() < np.abs(coarse - exact).sum()
+
+    def test_estimate_is_lower_bound(self, small_community):
+        exact = rwr_direct(small_community, 5)
+        result = forward_push(small_community, 5, rmax=1e-3)
+        assert (result.estimate <= exact + 1e-9).all()
+
+    def test_push_count_positive(self, small_community):
+        result = forward_push(small_community, 0, rmax=1e-3)
+        assert result.pushes > 0
+
+    def test_invalid_parameters(self, small_community):
+        with pytest.raises(ParameterError):
+            forward_push(small_community, 0, rmax=0.0)
+        with pytest.raises(ParameterError):
+            forward_push(small_community, 0, rmax=1e-3, c=0.0)
+        with pytest.raises(ParameterError):
+            forward_push(small_community, -1, rmax=1e-3)
+
+    def test_max_pushes_enforced(self, small_community):
+        with pytest.raises(ParameterError, match="exceeded"):
+            forward_push(small_community, 0, rmax=1e-9, max_pushes=10)
+
+
+class TestBackwardPush:
+    def test_residual_below_rmax(self, small_community):
+        result = backward_push(small_community, 0, rmax=1e-3)
+        assert (result.residual <= 1e-3 + 1e-12).all()
+
+    def test_invariant_for_pairs(self, small_community):
+        """π_s(t) = p(s) + Σ_v r(v) π_s(v) for several sources s."""
+        target = 7
+        result = backward_push(small_community, target, rmax=1e-4, c=0.15)
+        residual_nodes = np.flatnonzero(result.residual)
+        for source in (0, 11, 99):
+            exact_vector = rwr_direct(small_community, source)
+            reconstructed = result.estimate[source] + float(
+                result.residual[residual_nodes] @ exact_vector[residual_nodes]
+            )
+            assert reconstructed == pytest.approx(exact_vector[target], abs=1e-8)
+
+    def test_tight_rmax_recovers_column(self, small_community):
+        """With tiny rmax, the estimate approximates the target column of
+        the RWR matrix: p(s) ≈ π_s(t)."""
+        target = 3
+        result = backward_push(small_community, target, rmax=1e-7)
+        for source in (0, 5):
+            exact = rwr_direct(small_community, source)[target]
+            assert result.estimate[source] == pytest.approx(exact, abs=1e-4)
+
+    def test_invalid_parameters(self, small_community):
+        with pytest.raises(ParameterError):
+            backward_push(small_community, 0, rmax=0.0)
+        with pytest.raises(ParameterError):
+            backward_push(small_community, small_community.num_nodes, rmax=1e-3)
+
+    def test_max_pushes_enforced(self, medium_community):
+        with pytest.raises(ParameterError, match="exceeded"):
+            backward_push(medium_community, 0, rmax=1e-10, max_pushes=10)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.ranking — PageRank and exact RWR references."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpi import cpi
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.ranking import pagerank, pagerank_power, rwr_direct, rwr_exact, rwr_power
+from repro.ranking.rwr import rwr_matrix
+
+
+class TestPageRank:
+    def test_sums_to_one(self, small_community):
+        scores = pagerank(small_community, tol=1e-12)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_cpi_and_power_agree(self, small_community):
+        a = pagerank(small_community, tol=1e-12)
+        b = pagerank_power(small_community, tol=1e-13)
+        np.testing.assert_allclose(a, b, atol=1e-8)
+
+    def test_uniform_on_ring(self, tiny_ring):
+        """Perfect symmetry ⇒ uniform PageRank."""
+        scores = pagerank(tiny_ring, tol=1e-12)
+        np.testing.assert_allclose(scores, 1.0 / tiny_ring.num_nodes, atol=1e-9)
+
+    def test_uniform_on_complete(self, tiny_complete):
+        scores = pagerank(tiny_complete, tol=1e-12)
+        np.testing.assert_allclose(scores, 1.0 / tiny_complete.num_nodes, atol=1e-9)
+
+    def test_star_hub_dominates(self, tiny_star):
+        scores = pagerank(tiny_star, tol=1e-12)
+        assert scores[0] == scores.max()
+        assert scores[0] > 0.3
+
+    def test_in_degree_correlation(self, medium_community):
+        """PageRank should broadly follow in-degree on these graphs."""
+        scores = pagerank(medium_community)
+        in_degree = medium_community.in_degree
+        correlation = np.corrcoef(scores, in_degree)[0, 1]
+        assert correlation > 0.7
+
+    def test_invalid_c(self, small_community):
+        with pytest.raises(ParameterError):
+            pagerank_power(small_community, c=0.0)
+
+
+class TestRWRMatrix:
+    def test_solves_rwr(self, small_community):
+        c = 0.15
+        matrix = rwr_matrix(small_community, c)
+        q = np.zeros(small_community.num_nodes)
+        q[3] = c
+        solution = np.linalg.solve(matrix.toarray(), q)
+        reference = cpi(small_community, 3, c=c, tol=1e-13).scores
+        np.testing.assert_allclose(solution, reference, atol=1e-9)
+
+    def test_uniform_dangling_rejected(self, dangling_graph_uniform):
+        with pytest.raises(ParameterError):
+            rwr_matrix(dangling_graph_uniform)
+
+    def test_invalid_c(self, small_community):
+        with pytest.raises(ParameterError):
+            rwr_matrix(small_community, c=1.5)
+
+
+class TestExactRWR:
+    def test_direct_and_power_agree(self, small_community):
+        direct = rwr_direct(small_community, 7)
+        power = rwr_power(small_community, 7, tol=1e-13)
+        np.testing.assert_allclose(direct, power, atol=1e-9)
+
+    def test_rwr_exact_dispatch_small(self, small_community):
+        scores = rwr_exact(small_community, 7)
+        np.testing.assert_allclose(scores, rwr_direct(small_community, 7))
+
+    def test_rwr_exact_uniform_dangling_falls_back(self, dangling_graph_uniform):
+        scores = rwr_exact(dangling_graph_uniform, 0)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_seed_ranks_first(self, small_community):
+        scores = rwr_direct(small_community, 12)
+        assert int(np.argmax(scores)) == 12
+
+    def test_sums_to_one(self, small_community):
+        assert rwr_direct(small_community, 0).sum() == pytest.approx(1.0)
+
+    def test_restart_probability_mass_at_seed(self, tiny_ring):
+        """On a directed ring, the seed keeps mass c/(1-(1-c)^n) · ... —
+        at least c."""
+        scores = rwr_direct(tiny_ring, 0, c=0.15)
+        assert scores[0] >= 0.15
+
+    def test_two_node_graph_closed_form(self):
+        """0 <-> 1: r = c q + (1-c) swap(r) has a closed form."""
+        graph = Graph(2, [0, 1], [1, 0])
+        c = 0.15
+        scores = rwr_direct(graph, 0, c=c)
+        # r0 = c + (1-c) r1, r1 = (1-c) r0 => r0 = c / (1 - (1-c)^2).
+        r0 = c / (1 - (1 - c) ** 2)
+        assert scores[0] == pytest.approx(r0)
+        assert scores[1] == pytest.approx((1 - c) * r0)

@@ -1,0 +1,75 @@
+"""Unit tests for the RPPR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rppr import RPPR
+from repro.exceptions import ParameterError
+from repro.metrics.accuracy import recall_at_k
+from repro.ranking.rwr import rwr_direct
+
+
+@pytest.fixture(scope="module")
+def prepared(medium_community):
+    method = RPPR()
+    method.preprocess(medium_community)
+    return method
+
+
+class TestRPPR:
+    def test_online_only(self, prepared):
+        assert prepared.preprocessed_bytes() == 0
+
+    def test_high_recall(self, prepared, medium_community):
+        exact = rwr_direct(medium_community, 4)
+        approx = prepared.query(4)
+        assert recall_at_k(exact, approx, 100) >= 0.9
+
+    def test_reasonable_l1(self, prepared, medium_community):
+        """The L1 error of greedy RPPR equals the rank parked on inactive
+        vertices — bounded but not tiny at the paper's 1e-4 threshold."""
+        exact = rwr_direct(medium_community, 4)
+        approx = prepared.query(4)
+        error = np.abs(exact - approx).sum()
+        assert error < 0.25
+        # The error is exactly the unpropagated mass (scores sum to 1 - loss).
+        assert error == pytest.approx(1.0 - approx.sum(), abs=0.05)
+
+    def test_active_set_tracked(self, prepared, medium_community):
+        prepared.query(0)
+        assert 0 < prepared.last_active_size <= medium_community.num_nodes
+
+    def test_higher_threshold_smaller_active_set(self, medium_community):
+        greedy = RPPR(expand_threshold=1e-5)
+        greedy.preprocess(medium_community)
+        greedy.query(0)
+        lazy = RPPR(expand_threshold=1e-2)
+        lazy.preprocess(medium_community)
+        lazy.query(0)
+        assert lazy.last_active_size <= greedy.last_active_size
+
+    def test_lower_threshold_more_accurate(self, medium_community):
+        exact = rwr_direct(medium_community, 6)
+        errors = []
+        for threshold in (1e-2, 1e-5):
+            method = RPPR(expand_threshold=threshold)
+            method.preprocess(medium_community)
+            errors.append(np.abs(exact - method.query(6)).sum())
+        assert errors[1] <= errors[0]
+
+    def test_mass_bounded_by_one(self, prepared):
+        scores = prepared.query(3)
+        assert scores.sum() <= 1.0 + 1e-9
+        assert (scores >= 0).all()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"expand_threshold": 0.0},
+            {"c": 0.0},
+            {"tol": 0.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            RPPR(**kwargs)

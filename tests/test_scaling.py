@@ -1,0 +1,33 @@
+"""Tests for the scalability experiment (Theorems 3-4 growth rates)."""
+
+import pytest
+
+from repro.experiments.scaling import growth_exponent, measure_scaling
+
+
+@pytest.fixture(scope="module")
+def records():
+    return measure_scaling(sizes=(500, 1_000, 2_000, 4_000), num_seeds=3)
+
+
+class TestScaling:
+    def test_one_record_per_size(self, records):
+        assert len(records) == 4
+        assert [r["nodes"] for r in records] == [500, 1000, 2000, 4000]
+
+    def test_index_bytes_exactly_linear_in_n(self, records):
+        """TPA's index is one float per node: 8n bytes (Theorem 4)."""
+        for record in records:
+            assert record["index_bytes"] == 8 * record["nodes"]
+
+    def test_index_growth_exponent(self, records):
+        # bytes ∝ n and m ∝ n here, so the log-log slope vs edges ≈ 1.
+        assert 0.7 < growth_exponent(records, "index_bytes") < 1.3
+
+    def test_online_time_subquadratic(self, records):
+        """Theorem 3: online is O(mS); allow generous noise but rule out
+        quadratic blowup."""
+        assert growth_exponent(records, "online_seconds") < 1.8
+
+    def test_times_increase_overall(self, records):
+        assert records[-1]["preprocess_seconds"] > records[0]["preprocess_seconds"]

@@ -1,0 +1,80 @@
+"""Unit tests for repro.graph.slashburn."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graph import slashburn, star_graph
+from repro.graph.generators import community_graph
+
+
+class TestSlashburn:
+    def test_permutation_valid(self, small_community):
+        ordering = slashburn(small_community)
+        n = small_community.num_nodes
+        np.testing.assert_array_equal(
+            np.sort(ordering.permutation), np.arange(n)
+        )
+
+    def test_hub_count_consistent(self, small_community):
+        ordering = slashburn(small_community)
+        assert 0 < ordering.num_hubs < small_community.num_nodes
+        assert ordering.iterations >= 1
+
+    def test_blocks_cover_nonhubs(self, small_community):
+        ordering = slashburn(small_community)
+        n = small_community.num_nodes
+        covered = np.sort(np.concatenate(ordering.blocks))
+        np.testing.assert_array_equal(
+            covered, np.arange(ordering.num_hubs, n)
+        )
+
+    def test_blocks_disjoint(self, small_community):
+        ordering = slashburn(small_community)
+        total = sum(len(block) for block in ordering.blocks)
+        unique = len(set(np.concatenate(ordering.blocks).tolist()))
+        assert total == unique
+
+    def test_first_hub_is_highest_degree(self, small_community):
+        ordering = slashburn(small_community, k=1)
+        sym = small_community.undirected_view()
+        degree = np.asarray(sym.sum(axis=1)).ravel()
+        assert degree[ordering.permutation[0]] == degree.max()
+
+    def test_star_hub_detected(self):
+        graph = star_graph(20)
+        ordering = slashburn(graph, k=1)
+        assert ordering.permutation[0] == 0
+        # Removing the hub shatters the star into singleton spokes.
+        assert len(ordering.blocks) == 19
+
+    def test_nonhub_part_is_block_diagonal(self):
+        """No edges may cross between different non-hub blocks."""
+        graph = community_graph(200, avg_degree=6, seed=3)
+        ordering = slashburn(graph)
+        new_of_old = np.empty(graph.num_nodes, dtype=np.int64)
+        new_of_old[ordering.permutation] = np.arange(graph.num_nodes)
+        block_of = {}
+        for index, block in enumerate(ordering.blocks):
+            for new_id in block.tolist():
+                block_of[new_id] = index
+        src, dst = graph.edges()
+        for u, v in zip(new_of_old[src].tolist(), new_of_old[dst].tolist()):
+            if u >= ordering.num_hubs and v >= ordering.num_hubs:
+                assert block_of[u] == block_of[v]
+
+    def test_larger_k_fewer_iterations(self, small_community):
+        few = slashburn(small_community, k=2)
+        many = slashburn(small_community, k=20)
+        assert many.iterations <= few.iterations
+
+    def test_max_block_respected_for_final_remainder(self, small_community):
+        ordering = slashburn(small_community, k=5, max_block=50)
+        # Final remainder block (if any) is bounded; spokes are small by
+        # construction, so every block should be modest.
+        largest = max(len(block) for block in ordering.blocks)
+        assert largest <= max(50, ordering.num_hubs)
+
+    def test_invalid_k(self, small_community):
+        with pytest.raises(ParameterError):
+            slashburn(small_community, k=0)
