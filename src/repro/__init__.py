@@ -4,16 +4,37 @@ Kang — ICDE 2018).
 
 Quickstart
 ----------
->>> from repro import community_graph, TPA, rwr_exact, l1_error
+Preprocess once, then serve seed batches through the engine — the paper's
+deployment shape (Twitter-scale "Who to Follow" is top-500 RWR for
+millions of users against one preprocessed graph):
+
+>>> from repro import Engine, community_graph, create_method
 >>> graph = community_graph(1000, avg_degree=10, seed=7)
->>> method = TPA(s_iteration=5, t_iteration=10)
+>>> engine = Engine(create_method("tpa", s_iteration=5, t_iteration=10),
+...                 graph)                      # Algorithm 2 runs here, once
+>>> result = engine.query(0, k=10)              # one structured result
+>>> recommendations = engine.serve(range(32), k=10)  # (32, 10) id matrix
+>>> full = engine.query(0)                      # full score vector + metadata
+>>> float(abs(full.scores).sum()) <= 1.0 + 1e-9
+True
+
+``engine.batch([...])`` takes :class:`QueryRequest` records and returns
+:class:`QueryResult` records carrying scores or top-k ids plus wall-time,
+preprocessed bytes, and the method's error bound.  All seeds in a batch
+propagate through the graph together (one sparse matmul per iteration for
+the whole batch) — see :meth:`PPRMethod.query_many`.
+
+The original single-seed API remains fully supported:
+
+>>> method = create_method("tpa", s_iteration=5, t_iteration=10)
 >>> method.preprocess(graph)          # Algorithm 2: stranger approximation
 >>> scores = method.query(0)          # Algorithm 3: family + neighbor approx
->>> l1_error(rwr_exact(graph, 0), scores) <= method.error_bound()
-True
 
 Package map
 -----------
+* :mod:`repro.engine` — the batched query engine (``Engine``,
+  ``QueryRequest``/``QueryResult``) and the method registry
+  (``available_methods`` / ``create_method``).
 * :mod:`repro.core` — CPI (Algorithm 1) and TPA (Algorithms 2–3) with the
   paper's accuracy bounds.
 * :mod:`repro.graph` — graph substrate, generators, dataset analogs,
@@ -35,7 +56,7 @@ from repro.exceptions import (
     ConvergenceError,
     ParameterError,
 )
-from repro.method import PPRMethod
+from repro.method import PPRMethod, select_top_k
 from repro.graph import (
     Graph,
     read_edge_list,
@@ -56,8 +77,11 @@ from repro.graph import (
 )
 from repro.core import (
     cpi,
+    cpi_many,
     cpi_parts,
     CPIResult,
+    CPIManyResult,
+    CPIMethod,
     TPA,
     TPAParts,
     family_norm,
@@ -84,6 +108,14 @@ from repro.baselines import (
     HubPPR,
     BePI,
 )
+from repro.engine import (
+    Engine,
+    QueryRequest,
+    QueryResult,
+    available_methods,
+    create_method,
+    register_method,
+)
 from repro.graph.diskgraph import DiskGraph
 from repro.graph.stats import GraphStats, graph_stats
 from repro.metrics import (
@@ -107,6 +139,13 @@ __all__ = [
     "ConvergenceError",
     "ParameterError",
     "PPRMethod",
+    "select_top_k",
+    "Engine",
+    "QueryRequest",
+    "QueryResult",
+    "available_methods",
+    "create_method",
+    "register_method",
     "Graph",
     "read_edge_list",
     "write_edge_list",
@@ -124,8 +163,11 @@ __all__ = [
     "slashburn",
     "partition_graph",
     "cpi",
+    "cpi_many",
     "cpi_parts",
     "CPIResult",
+    "CPIManyResult",
+    "CPIMethod",
     "TPA",
     "TPAParts",
     "family_norm",

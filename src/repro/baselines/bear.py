@@ -182,6 +182,32 @@ class BearApprox(PPRMethod):
         permuted_result = np.concatenate([r1, r2])
         return permuted_result[self._inverse_order]
 
+    def _query_many(self, seeds: np.ndarray) -> np.ndarray:
+        """Vectorized online phase: block elimination is a fixed chain of
+        sparse multiplies, so the whole seed batch runs as ``(n, B)``
+        matrices — one SpMM per factor instead of per-seed SpMVs."""
+        if self._order is None:
+            raise ParameterError("BEAR preprocessing did not complete")
+        assert self._h11_inv is not None
+        assert self._h12 is not None and self._h21 is not None
+        assert self._schur_inv is not None and self._inverse_order is not None
+
+        n = self.graph.num_nodes
+        n1 = self._n1
+        q = np.zeros((n, seeds.size))
+        q[self._inverse_order[seeds], np.arange(seeds.size)] = self.c
+        q1, q2 = q[:n1], q[n1:]
+
+        if n - n1:
+            r2 = self._schur_inv @ (q2 - self._h21 @ (self._h11_inv @ q1))
+            r1 = self._h11_inv @ (q1 - self._h12 @ r2)
+        else:
+            r2 = np.zeros((0, seeds.size))
+            r1 = self._h11_inv @ q1
+
+        permuted_result = np.concatenate([r1, r2], axis=0)
+        return np.ascontiguousarray(permuted_result[self._inverse_order].T)
+
 
 def _blockwise_inverse(
     h11: sp.csr_array, blocks: list[np.ndarray], drop: float

@@ -157,6 +157,52 @@ class BePI(PPRMethod):
         permuted_result = np.concatenate([r1, r2])
         return permuted_result[self._inverse_order]
 
+    def _query_many(self, seeds: np.ndarray) -> np.ndarray:
+        """Batched online phase: the heavy sparse algebra (right-hand
+        sides, ``H11^{-1}`` applications, back-substitution) runs as one
+        ``(n, B)`` matmul chain; only the small ``n2 × n2`` Schur solve
+        stays per-column, since GMRES is a single-vector solver."""
+        if self._order is None:
+            raise ParameterError("BePI preprocessing did not complete")
+        assert self._h11_inv is not None and self._inverse_order is not None
+        assert self._h12 is not None and self._h21 is not None
+        assert self._h22 is not None
+
+        n = self.graph.num_nodes
+        n1 = self._n1
+        n2 = n - n1
+        batch = seeds.size
+        q = np.zeros((n, batch))
+        q[self._inverse_order[seeds], np.arange(batch)] = self.c
+        q1, q2 = q[:n1], q[n1:]
+
+        if n2 == 0:
+            r1 = self._h11_inv @ q1
+            return np.ascontiguousarray(r1[self._inverse_order].T)
+
+        h11_inv, h12, h21, h22 = self._h11_inv, self._h12, self._h21, self._h22
+
+        def schur_matvec(x: np.ndarray) -> np.ndarray:
+            return h22 @ x - h21 @ (h11_inv @ (h12 @ x))
+
+        operator = spla.LinearOperator((n2, n2), matvec=schur_matvec)
+        rhs = q2 - h21 @ (h11_inv @ q1)
+        r2 = np.empty((n2, batch))
+        for column in range(batch):
+            solution, info = spla.gmres(
+                operator, rhs[:, column], rtol=self.solver_tol, atol=0.0,
+                maxiter=1000,
+            )
+            if info != 0:
+                raise ConvergenceError(
+                    f"BePI inner GMRES did not converge (info={info})"
+                )
+            r2[:, column] = solution
+        r1 = h11_inv @ (q1 - h12 @ r2)
+
+        permuted_result = np.concatenate([r1, r2], axis=0)
+        return np.ascontiguousarray(permuted_result[self._inverse_order].T)
+
 
 def _exact_blockwise_inverse(
     h11: sp.csr_array, blocks: list[np.ndarray]

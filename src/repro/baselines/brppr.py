@@ -145,3 +145,100 @@ class BRPPR(PPRMethod):
                 active |= expand
         self.last_active_size = int(active.sum())
         return scores
+
+    # -- batched online phase ------------------------------------------------
+
+    def _restricted_cpi_many(
+        self, active: np.ndarray, seeds: np.ndarray
+    ) -> np.ndarray:
+        """Batched restricted CPI: per-column active masks, shared SpMM.
+
+        ``active`` is an ``(n, P)`` boolean matrix (one active set per
+        seed).  Each sweep multiplies the rows of ``Ã`` belonging to the
+        *union* of the active sets against the per-column-masked interim
+        matrix, so only one sparse multiply serves the whole batch while
+        every column still propagates exactly its own active mass —
+        inactive rows carry zero mass for that column, as in the
+        single-seed iteration.  Columns whose active mass drops below
+        ``tol`` are frozen so their accumulated scores stay final.
+        """
+        graph = self.graph
+        n = graph.num_nodes
+        union = np.flatnonzero(active.any(axis=1))
+        active_rows_t = graph.transition[union].T
+        if graph.dangling_policy == "uniform":
+            dangling_union = np.flatnonzero(np.isin(union, graph.dangling_nodes))
+        else:
+            dangling_union = np.empty(0, dtype=np.int64)
+
+        batch = seeds.size
+        scores = np.zeros((n, batch))
+        x = np.zeros((n, batch))
+        x[seeds, np.arange(batch)] = self.c
+        scores += x
+        union_active = active[union]
+        running = np.ones(batch, dtype=bool)
+        while True:
+            inside = np.where(union_active, x[union], 0.0)
+            running = running & (inside.sum(axis=0) >= self.tol)
+            if not running.any():
+                break
+            inside[:, ~running] = 0.0
+            x = (1.0 - self.c) * (active_rows_t @ inside)
+            if dangling_union.size:
+                leaked = inside[dangling_union].sum(axis=0)
+                if np.any(leaked != 0.0):
+                    x += (1.0 - self.c) * leaked / n
+            scores += x
+        return scores
+
+    def _query_many(self, seeds: np.ndarray) -> np.ndarray:
+        """Vectorized online phase over a seed batch.
+
+        Each seed keeps its own active set and expansion schedule (so
+        every row matches the single-seed result), but all seeds still
+        pending in a given expansion round share one restricted-CPI run
+        (:meth:`_restricted_cpi_many`).  Seeds whose frontier rank drops
+        below ``kappa`` leave the batch early.
+        """
+        graph = self.graph
+        n = graph.num_nodes
+        batch = seeds.size
+        results = np.zeros((batch, n))
+        active = np.zeros((n, batch), dtype=bool)
+        active[seeds, np.arange(batch)] = True
+        pending = np.arange(batch)
+
+        for _ in range(self.max_rounds):
+            if pending.size == 0:
+                break
+            sub_active = active[:, pending]
+            scores = self._restricted_cpi_many(sub_active, seeds[pending])
+            results[pending] = scores.T
+            frontier_rank = np.where(sub_active, 0.0, scores).sum(axis=0)
+            still_expanding = []
+            for position in np.flatnonzero(frontier_rank >= self.kappa):
+                column = pending[position]
+                frontier_scores = np.where(
+                    active[:, column], 0.0, scores[:, position]
+                )
+                expand = frontier_scores > self.expand_threshold
+                if not expand.any():
+                    # Same bulk-activation fallback as the single-seed
+                    # path: activate the highest-rank frontier vertices.
+                    positive = int((frontier_scores > 0.0).sum())
+                    if positive == 0:
+                        continue
+                    take = min(
+                        positive, max(64, int(active[:, column].sum()) // 4)
+                    )
+                    best = np.argpartition(-frontier_scores, take - 1)[:take]
+                    active[best, column] = True
+                else:
+                    active[:, column] |= expand
+                still_expanding.append(column)
+            pending = np.asarray(still_expanding, dtype=np.int64)
+
+        self.last_active_sizes = active.sum(axis=0).astype(np.int64)
+        self.last_active_size = int(self.last_active_sizes[-1])
+        return results

@@ -190,3 +190,19 @@ class NBLin(PPRMethod):
             self._u @ (self._lambda @ (self._vt @ base))
         )
         return base + (1.0 - self.c) * correction
+
+    def _query_many(self, seeds: np.ndarray) -> np.ndarray:
+        """Vectorized online phase: the SMW solve is linear in the seed
+        vector, so stacking the seeds as columns turns the per-query
+        matvec chain into a single matmul chain for the whole batch."""
+        if self._u is None or self._vt is None or self._lambda is None:
+            raise ParameterError("NB_LIN preprocessing did not complete")
+        n = self.graph.num_nodes
+        q = np.zeros((n, seeds.size))
+        q[seeds, np.arange(seeds.size)] = self.c
+
+        base = self._apply_q_inverse(q)
+        correction = self._apply_q_inverse(
+            self._u @ (self._lambda @ (self._vt @ base))
+        )
+        return np.ascontiguousarray((base + (1.0 - self.c) * correction).T)

@@ -96,3 +96,45 @@ class RPPR(PPRMethod):
 
         self.last_active_size = int(active.sum())
         return scores
+
+    def _query_many(self, seeds: np.ndarray) -> np.ndarray:
+        """Vectorized online phase over a seed batch.
+
+        Each column keeps its own active mask, parked mass, and
+        convergence state, but every sweep propagates the whole
+        ``(n, B)`` interim matrix with one SpMM.  Columns whose active
+        mass drops below ``tol`` are frozen (their interim column is
+        zeroed) so each row of the result matches the single-seed run.
+        """
+        graph = self.graph
+        n = graph.num_nodes
+        batch = seeds.size
+        columns = np.arange(batch)
+
+        active = np.zeros((n, batch), dtype=bool)
+        active[seeds, columns] = True
+
+        scores = np.zeros((n, batch))
+        x = np.zeros((n, batch))
+        x[seeds, columns] = self.c
+        scores += x
+        parked = np.zeros((n, batch))
+        running = np.ones(batch, dtype=bool)
+
+        for _ in range(self.max_sweeps):
+            inside = np.where(active, x + parked, 0.0)
+            parked = np.where(active, 0.0, parked + x)
+            running = running & (inside.sum(axis=0) >= self.tol)
+            if not running.any():
+                break
+            # Frozen columns stop propagating; their scores are final.
+            inside[:, ~running] = 0.0
+            x = (1.0 - self.c) * graph.propagate(inside)
+            scores += x
+            newly = (~active) & (scores > self.expand_threshold)
+            if newly.any():
+                active |= newly
+
+        self.last_active_sizes = active.sum(axis=0).astype(np.int64)
+        self.last_active_size = int(self.last_active_sizes[-1])
+        return np.ascontiguousarray(scores.T)

@@ -3,13 +3,23 @@
 Three subcommands::
 
     python -m repro query --graph edges.tsv --seed 42 --method tpa --top 20
+    python -m repro query --graph edges.tsv --seeds 1,2,3 --method tpa
+    python -m repro query --graph edges.tsv --seeds @seeds.txt --batch
     python -m repro stats --graph edges.tsv
     python -m repro generate --dataset pokec --scale 0.5 --out pokec.tsv
 
-``query`` reads a whitespace edge list, runs the chosen method, and prints
-the top-ranked nodes (in the file's original ids); ``stats`` prints the
-structural summary used to judge TPA-friendliness; ``generate`` writes one
-of the synthetic dataset analogs to disk as an edge list.
+``query`` reads a whitespace edge list, runs the chosen method through the
+batched :class:`~repro.engine.Engine`, and prints the top-ranked nodes (in
+the file's original ids).  Seeds come from ``--seed`` (one id) or
+``--seeds`` (comma-separated list, or ``@path`` to a file with one id per
+whitespace-separated token); multiple seeds — or ``--batch`` — switch the
+output to the tab-separated batch format with a leading ``seed`` column.
+Methods are resolved via the registry
+(:func:`repro.engine.available_methods`).
+
+``stats`` prints the structural summary used to judge TPA-friendliness;
+``generate`` writes one of the synthetic dataset analogs to disk as an
+edge list.
 
 (The per-figure experiment harness lives under ``python -m
 repro.experiments``.)
@@ -19,29 +29,39 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 
-import numpy as np
-
-from repro.baselines import BRPPR, BearApprox, BePI, Fora, HubPPR, NBLin, RPPR
-from repro.core.tpa import TPA
+from repro.engine import Engine, QueryRequest, available_methods, create_method
 from repro.graph.datasets import DATASETS, dataset_names, load_dataset
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.graph.stats import graph_stats
-from repro.method import PPRMethod
 
 __all__ = ["main"]
 
-_METHOD_FACTORIES = {
-    "tpa": lambda args: TPA(s_iteration=args.s_iteration, t_iteration=args.t_iteration),
-    "brppr": lambda args: BRPPR(),
-    "rppr": lambda args: RPPR(),
-    "fora": lambda args: Fora(seed=0),
-    "bear": lambda args: BearApprox(),
-    "hubppr": lambda args: HubPPR(seed=0),
-    "nblin": lambda args: NBLin(seed=0),
-    "bepi": lambda args: BePI(),
-}
+
+def _method_params(args: argparse.Namespace) -> dict:
+    """Per-method constructor arguments sourced from CLI flags."""
+    if args.method == "tpa":
+        return {
+            "s_iteration": args.s_iteration,
+            "t_iteration": args.t_iteration,
+        }
+    return {}
+
+
+def _parse_seed_spec(spec: str) -> list[int]:
+    """Parse ``--seeds``: a comma list (``1,2,3``) or ``@file`` of ids."""
+    if spec.startswith("@"):
+        try:
+            tokens = Path(spec[1:]).read_text(encoding="utf-8").split()
+        except OSError as error:
+            raise SystemExit(f"cannot read seed file {spec[1:]!r}: {error}")
+    else:
+        tokens = [token for token in spec.split(",") if token.strip()]
+    try:
+        return [int(token) for token in tokens]
+    except ValueError as error:
+        raise SystemExit(f"invalid seed id in --seeds: {error}") from error
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,13 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    query = commands.add_parser("query", help="rank nodes by RWR from a seed")
+    query = commands.add_parser("query", help="rank nodes by RWR from seeds")
     query.add_argument("--graph", required=True, help="edge-list file")
-    query.add_argument("--seed", type=int, required=True,
-                       help="seed node (original id)")
-    query.add_argument("--method", choices=sorted(_METHOD_FACTORIES),
-                       default="tpa")
+    query.add_argument("--seed", type=int, help="seed node (original id)")
+    query.add_argument("--seeds",
+                       help="seed batch: comma list '1,2,3' or '@file' with "
+                            "one id per token")
+    query.add_argument("--method", choices=available_methods(), default="tpa")
     query.add_argument("--top", type=int, default=10)
+    query.add_argument("--batch", action="store_true",
+                       help="force the tab-separated batch output format")
     query.add_argument("--s-iteration", type=int, default=5)
     query.add_argument("--t-iteration", type=int, default=10)
 
@@ -73,31 +96,59 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _command_query(args: argparse.Namespace) -> int:
+    if args.seed is None and args.seeds is None:
+        print("one of --seed or --seeds is required", file=sys.stderr)
+        return 2
+
     graph, original_ids = read_edge_list(args.graph)
     id_to_compact = {int(original): index
                      for index, original in enumerate(original_ids.tolist())}
-    if args.seed not in id_to_compact:
-        print(f"seed id {args.seed} not present in {args.graph}", file=sys.stderr)
+
+    requested: list[int] = []
+    if args.seed is not None:
+        requested.append(args.seed)
+    if args.seeds is not None:
+        requested.extend(_parse_seed_spec(args.seeds))
+    missing = [seed for seed in requested if seed not in id_to_compact]
+    if missing:
+        print(f"seed id {missing[0]} not present in {args.graph}",
+              file=sys.stderr)
         return 2
-    compact_seed = id_to_compact[args.seed]
+    compact_seeds = [id_to_compact[seed] for seed in requested]
 
-    method: PPRMethod = _METHOD_FACTORIES[args.method](args)
-    begin = time.perf_counter()
-    method.preprocess(graph)
-    preprocess_seconds = time.perf_counter() - begin
+    method = create_method(args.method, **_method_params(args))
+    engine = Engine(method, graph)
+    results = engine.batch(
+        [QueryRequest(seed=seed, k=args.top, exclude_seed=False)
+         for seed in compact_seeds]
+    )
 
-    begin = time.perf_counter()
-    scores = method.query(compact_seed)
-    online_seconds = time.perf_counter() - begin
-
+    online_seconds = sum(result.seconds for result in results)
     print(f"# method={method.name} nodes={graph.num_nodes} "
           f"edges={graph.num_edges}")
-    print(f"# preprocess={preprocess_seconds:.4f}s online={online_seconds:.4f}s "
+    print(f"# preprocess={engine.preprocess_seconds:.4f}s "
+          f"online={online_seconds:.4f}s "
           f"index={method.preprocessed_bytes()}B")
-    print("rank\tnode\tscore")
-    order = np.argsort(-scores, kind="stable")[: args.top]
-    for rank, node in enumerate(order.tolist(), start=1):
-        print(f"{rank}\t{original_ids[node]}\t{scores[node]:.6e}")
+
+    batch_mode = args.batch or len(results) > 1
+    if batch_mode:
+        print(f"# queries={len(results)}")
+        print("seed\trank\tnode\tscore")
+        for original_seed, result in zip(requested, results):
+            for rank, (node, score) in enumerate(
+                zip(result.top_nodes.tolist(), result.top_scores.tolist()),
+                start=1,
+            ):
+                print(f"{original_seed}\t{rank}\t{original_ids[node]}\t"
+                      f"{score:.6e}")
+    else:
+        result = results[0]
+        print("rank\tnode\tscore")
+        for rank, (node, score) in enumerate(
+            zip(result.top_nodes.tolist(), result.top_scores.tolist()),
+            start=1,
+        ):
+            print(f"{rank}\t{original_ids[node]}\t{score:.6e}")
     return 0
 
 

@@ -11,7 +11,16 @@
   (Section III-C).
 """
 
-from repro.core.cpi import CPIResult, cpi, cpi_parts
+from repro.core.cpi import (
+    CPIManyResult,
+    CPIMethod,
+    CPIResult,
+    cpi,
+    cpi_many,
+    cpi_parts,
+    seed_matrix,
+    seed_vector,
+)
 from repro.core.tpa import TPA, TPAParts
 from repro.core.bounds import (
     family_norm,
@@ -27,8 +36,13 @@ from repro.core.parameters import select_parameters, ParameterSweepPoint, sweep_
 
 __all__ = [
     "CPIResult",
+    "CPIManyResult",
+    "CPIMethod",
     "cpi",
+    "cpi_many",
     "cpi_parts",
+    "seed_matrix",
+    "seed_vector",
     "TPA",
     "TPAParts",
     "family_norm",

@@ -1,0 +1,29 @@
+"""Batched query engine and method registry.
+
+* :mod:`~repro.engine.engine` — :class:`QueryRequest` / :class:`QueryResult`
+  dataclasses and the :class:`Engine` facade (preprocess-once lifecycle,
+  bulk validation, vectorized batches, optional LRU score cache).
+* :mod:`~repro.engine.registry` — :func:`available_methods` /
+  :func:`create_method`, the single factory shared by the CLI and the
+  experiment harness.
+"""
+
+from repro.engine.engine import Engine, QueryRequest, QueryResult
+from repro.engine.registry import (
+    MethodSpec,
+    available_methods,
+    create_method,
+    method_spec,
+    register_method,
+)
+
+__all__ = [
+    "Engine",
+    "QueryRequest",
+    "QueryResult",
+    "MethodSpec",
+    "available_methods",
+    "create_method",
+    "method_spec",
+    "register_method",
+]

@@ -1,0 +1,183 @@
+"""Method registry: one place that knows how to build every RWR method.
+
+Before the engine existed, the CLI and the experiment harness each kept
+their own ad-hoc ``name -> factory`` dict; this module replaces both.
+Names are matched case-insensitively with ``-``/``_`` stripped, so
+``"TPA"``, ``"tpa"``, ``"NB_LIN"`` and ``"nblin"`` all resolve, as do the
+paper-style aliases (``"BEAR_APPROX"`` for ``bear``).
+
+>>> from repro.engine import available_methods, create_method
+>>> "tpa" in available_methods()
+True
+>>> create_method("tpa", s_iteration=5, t_iteration=10).name
+'TPA'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines import (
+    BiPPR,
+    BRPPR,
+    BearApprox,
+    BePI,
+    FastPPR,
+    Fora,
+    HubPPR,
+    NBLin,
+    RPPR,
+)
+from repro.core.cpi import CPIMethod
+from repro.core.tpa import TPA
+from repro.exceptions import ParameterError
+from repro.method import PPRMethod
+
+__all__ = [
+    "MethodSpec",
+    "register_method",
+    "available_methods",
+    "create_method",
+    "method_spec",
+]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Registry entry for one method family.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry key (lowercase, e.g. ``"tpa"``).
+    factory:
+        Constructor; keyword arguments from :func:`create_method` are
+        forwarded verbatim.
+    description:
+        One-line summary shown by tooling.
+    aliases:
+        Alternative spellings accepted by :func:`create_method`.
+    """
+
+    name: str
+    factory: Callable[..., PPRMethod]
+    description: str
+    aliases: tuple[str, ...] = ()
+
+
+_REGISTRY: dict[str, MethodSpec] = {}
+_LOOKUP: dict[str, str] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("-", "").replace("_", "")
+
+
+def register_method(
+    name: str,
+    factory: Callable[..., PPRMethod],
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+) -> MethodSpec:
+    """Register a method family under ``name`` (plus ``aliases``).
+
+    Raises :class:`~repro.exceptions.ParameterError` when a spelling
+    collides with an already-registered method.
+    """
+    spec = MethodSpec(name, factory, description, tuple(aliases))
+    for spelling in (name, *aliases):
+        key = _normalize(spelling)
+        if key in _LOOKUP and _LOOKUP[key] != name:
+            raise ParameterError(
+                f"method name {spelling!r} collides with registered "
+                f"method {_LOOKUP[key]!r}"
+            )
+    _REGISTRY[name] = spec
+    for spelling in (name, *aliases):
+        _LOOKUP[_normalize(spelling)] = name
+    return spec
+
+
+def available_methods() -> tuple[str, ...]:
+    """Canonical names of every registered method, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def method_spec(name: str) -> MethodSpec:
+    """Resolve ``name`` (canonical or alias, any case) to its spec."""
+    key = _normalize(name)
+    if key not in _LOOKUP:
+        known = ", ".join(available_methods())
+        raise ParameterError(f"unknown method {name!r}; available: {known}")
+    return _REGISTRY[_LOOKUP[key]]
+
+
+def create_method(name: str, **params) -> PPRMethod:
+    """Construct a method by registry name, forwarding ``params``.
+
+    >>> create_method("bear", hub_ratio=0.01).name
+    'BEAR_APPROX'
+    """
+    return method_spec(name).factory(**params)
+
+
+# -- the built-in suite ---------------------------------------------------------
+
+register_method(
+    "tpa", TPA,
+    "Two-Phase Approximation (the paper's method): stranger vector "
+    "preprocessing, family + scaled-neighbor online phase.",
+)
+register_method(
+    "cpi", CPIMethod,
+    "Exact RWR by Cumulative Power Iteration (Algorithm 1), run to "
+    "convergence; the no-preprocessing exact reference.",
+)
+register_method(
+    "brppr", BRPPR,
+    "Boundary-Restricted PPR (Gleich & Polito 2006): converged restricted "
+    "solves with frontier expansion; online-only.",
+)
+register_method(
+    "rppr", RPPR,
+    "Restricted PPR: like BRPPR but activates vertices on the fly during "
+    "a single sweep to convergence.",
+)
+register_method(
+    "fora", Fora,
+    "FORA/FORA+ (Wang et al. 2017): forward push plus indexed "
+    "Monte-Carlo walks.",
+)
+register_method(
+    "bear", BearApprox,
+    "BEAR-APPROX (Shin et al. 2015): SlashBurn ordering + block "
+    "elimination with a drop tolerance.",
+    aliases=("bear_approx",),
+)
+register_method(
+    "hubppr", HubPPR,
+    "HubPPR (Wang et al. 2016): bidirectional estimation with hub "
+    "indexes, adapted to whole-vector queries.",
+)
+register_method(
+    "nblin", NBLin,
+    "NB_LIN (Tong et al. 2008): community partitioning, low-rank "
+    "cross-part, Sherman-Morrison-Woodbury solve.",
+    aliases=("nb_lin",),
+)
+register_method(
+    "bepi", BePI,
+    "BePI (Jung et al. 2017): exact block elimination with an iterative "
+    "Schur solve; the paper's ground truth.",
+)
+register_method(
+    "bippr", BiPPR,
+    "BiPPR (Lofgren et al. 2016): bidirectional pair estimation adapted "
+    "to whole-vector queries.",
+)
+register_method(
+    "fastppr", FastPPR,
+    "FAST-PPR (Lofgren et al. 2014): frontier-based bidirectional pair "
+    "estimation adapted to whole-vector queries.",
+)

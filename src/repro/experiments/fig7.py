@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine import Engine, QueryRequest
 from repro.exceptions import MemoryBudgetExceeded
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.methods import METHOD_ORDER, build_suite
@@ -34,9 +35,13 @@ def run(config: ExperimentConfig) -> list[ExperimentResult]:
         graph = load_dataset(dataset, scale=config.scale)
         seeds = rng.choice(graph.num_nodes, size=config.num_seeds, replace=False)
 
+        # One vectorized pass computes every exact ground-truth vector.
         ground_truth = BePI()
         ground_truth.preprocess(graph)
-        exact_by_seed = {int(s): ground_truth.query(int(s)) for s in seeds}
+        exact_matrix = ground_truth.query_many(seeds.astype(np.int64))
+        exact_by_seed = {
+            int(s): exact_matrix[i] for i, s in enumerate(seeds)
+        }
 
         table = ExperimentResult(
             f"fig7.{dataset}",
@@ -47,7 +52,7 @@ def run(config: ExperimentConfig) -> list[ExperimentResult]:
         for name in METHOD_ORDER:
             method = suite[name]
             try:
-                method.preprocess(graph)
+                engine = Engine(method, graph)
             except MemoryBudgetExceeded:
                 table.add_row(name, *["OOM"] * len(config.top_k_values))
                 continue
@@ -55,12 +60,14 @@ def run(config: ExperimentConfig) -> list[ExperimentResult]:
             query_seeds = seeds
             if name == "HubPPR":
                 query_seeds = seeds[: config.hubppr_seeds]
+            batch_results = engine.batch(
+                [QueryRequest(seed=int(seed)) for seed in query_seeds]
+            )
             recalls = {k: [] for k in config.top_k_values}
-            for seed in query_seeds:
-                approx = method.query(int(seed))
+            for seed, result in zip(query_seeds, batch_results):
                 exact = exact_by_seed[int(seed)]
                 for k in config.top_k_values:
-                    recalls[k].append(recall_at_k(exact, approx, k))
+                    recalls[k].append(recall_at_k(exact, result.scores, k))
             table.add_row(
                 name, *[float(np.mean(recalls[k])) for k in config.top_k_values]
             )

@@ -1,11 +1,15 @@
-"""Method suite construction shared by the experiment drivers."""
+"""Method suite construction shared by the experiment drivers.
+
+Construction goes through the shared registry
+(:func:`repro.engine.create_method`) — the paper-specific part kept here is
+only the *configuration* each method gets in the Section IV-A setup
+(memory budget, RNG seed, per-dataset TPA windows).
+"""
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.baselines import BRPPR, BearApprox, BePI, Fora, HubPPR, NBLin
-from repro.core.tpa import TPA
+from repro.baselines import BePI
+from repro.engine import create_method
 from repro.experiments.config import ExperimentConfig
 from repro.graph.datasets import DatasetSpec
 from repro.method import PPRMethod
@@ -25,25 +29,28 @@ def build_method(
 ) -> PPRMethod:
     """Construct one method configured as in the paper's Section IV-A."""
     budget = config.memory_budget_bytes
-    factories: dict[str, Callable[[], PPRMethod]] = {
-        "TPA": lambda: TPA(
+    configurations: dict[str, dict] = {
+        "TPA": dict(
             s_iteration=spec.s_iteration, t_iteration=spec.t_iteration
         ),
-        "BRPPR": lambda: BRPPR(expand_threshold=1e-4),
-        "FORA": lambda: Fora(
+        "BRPPR": dict(expand_threshold=1e-4),
+        "FORA": dict(
             epsilon=0.5, memory_budget_bytes=budget, seed=config.rng_seed
         ),
-        "BEAR_APPROX": lambda: BearApprox(memory_budget_bytes=budget),
-        "HubPPR": lambda: HubPPR(
+        "BEAR_APPROX": dict(memory_budget_bytes=budget),
+        "HubPPR": dict(
             epsilon=0.5, memory_budget_bytes=budget, seed=config.rng_seed
         ),
-        "NB_LIN": lambda: NBLin(
-            drop_tolerance=0.0, memory_budget_bytes=budget, seed=config.rng_seed
+        "NB_LIN": dict(
+            drop_tolerance=0.0, memory_budget_bytes=budget,
+            seed=config.rng_seed,
         ),
     }
-    if name not in factories:
-        raise KeyError(f"unknown method {name!r}; known: {sorted(factories)}")
-    return factories[name]()
+    if name not in configurations:
+        raise KeyError(
+            f"unknown method {name!r}; known: {sorted(configurations)}"
+        )
+    return create_method(name, **configurations[name])
 
 
 def build_suite(

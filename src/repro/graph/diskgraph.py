@@ -149,12 +149,16 @@ class DiskGraph:
         return self._dangling_policy
 
     def propagate(self, x: np.ndarray) -> np.ndarray:
-        """``Ã^T x`` with one stripe of edges resident at a time."""
-        if x.shape != (self._n,):
+        """``Ã^T x`` with one stripe of edges resident at a time.
+
+        ``x`` may be a length-``n`` vector or an ``(n, B)`` matrix whose
+        columns propagate independently (the batched online phase).
+        """
+        if x.shape[0] != self._n or x.ndim not in (1, 2):
             raise ParameterError(
-                f"vector length {x.shape} does not match n={self._n}"
+                f"operand shape {x.shape} does not match n={self._n}"
             )
-        y = np.empty(self._n, dtype=np.float64)
+        y = np.empty(x.shape, dtype=np.float64)
         for stripe in range(self._num_stripes):
             begin = stripe * self._rows_per_stripe
             end = min(begin + self._rows_per_stripe, self._n)
@@ -163,23 +167,42 @@ class DiskGraph:
             data = np.load(self._dir / f"stripe_{stripe}_data.npy")
             # Row-stripe SpMV without building a scipy matrix: segment sums
             # of data * x[indices] over the indptr boundaries.
-            products = data * x[indices]
-            segment = np.zeros(end - begin)
+            if x.ndim == 1:
+                products = data * x[indices]
+                pad = np.zeros(1)
+            else:
+                products = data[:, np.newaxis] * x[indices]
+                pad = np.zeros((1, x.shape[1]))
+            segment = np.zeros((end - begin,) + x.shape[1:])
             if products.size:
                 # reduceat quirks: an empty segment repeats a neighbouring
                 # value, and a start index == len(products) (trailing empty
-                # rows) is out of bounds.  Padding one zero keeps every
+                # rows) is out of bounds.  Padding one zero row keeps every
                 # start index valid without disturbing any real segment
                 # boundary; empty segments are masked out afterwards.
-                padded = np.append(products, 0.0)
-                sums = np.add.reduceat(padded, indptr[:-1])
+                padded = np.concatenate([products, pad], axis=0)
+                sums = np.add.reduceat(padded, indptr[:-1], axis=0)
                 nonempty = np.diff(indptr) > 0
                 segment[nonempty] = sums[nonempty]
             y[begin:end] = segment
         if self._dangling.size and self._dangling_policy == "uniform":
-            leaked = float(x[self._dangling].sum())
-            if leaked != 0.0:
+            leaked = x[self._dangling].sum(axis=0)
+            if np.any(leaked != 0.0):
                 y += leaked / self._n
+        return y
+
+    def propagate_decayed(
+        self, x: np.ndarray, decay: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``decay · Ã^T x`` — the fused step in-memory graphs provide.
+
+        The disk-backed substrate has no cached pre-scaled operator (its
+        data lives in stripes on disk), so this simply post-scales
+        :meth:`propagate`; ``out`` is accepted for interface compatibility
+        and ignored.
+        """
+        y = self.propagate(x)
+        y *= decay
         return y
 
     def resident_bytes(self) -> int:

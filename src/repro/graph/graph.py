@@ -18,6 +18,14 @@ import scipy.sparse as sp
 
 from repro.exceptions import DanglingNodeError, GraphFormatError
 
+try:  # pragma: no cover - import guard
+    # Private but long-stable scipy kernel; lets hot loops reuse output
+    # buffers instead of allocating (and page-faulting) a fresh matrix per
+    # SpMM.  Falls back to the public operator when unavailable.
+    from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
+except ImportError:  # pragma: no cover - older/newer scipy layouts
+    _csr_matvecs = None
+
 DanglingPolicy = Literal["error", "selfloop", "uniform"]
 
 __all__ = ["Graph", "DanglingPolicy"]
@@ -164,6 +172,7 @@ class Graph:
         transition = (scale @ adjacency).tocsr()
         self._transition = transition
         self._transition_t = transition.T.tocsr()
+        self._decayed_cache: dict[float, sp.csr_array] = {}
 
     # -- basic properties ------------------------------------------------------
 
@@ -233,15 +242,81 @@ class Graph:
         """Apply the column-stochastic operator: return ``Ã^T x`` (plus the
         uniform dangling correction when the policy is ``"uniform"``).
 
-        This is the single SpMV at the heart of every CPI iteration
+        ``x`` may be a single length-``n`` vector or an ``(n, B)`` matrix
+        whose columns are propagated independently — the batched query
+        engine pushes a whole seed batch through the iteration with one
+        sparse matmul per step.
+
+        This is the single SpMV/SpMM at the heart of every CPI iteration
         (Algorithm 1, line 4 — without the ``1-c`` decay, which the callers
         apply so the operator itself stays exactly stochastic).
         """
         y = self._transition_t @ x
         if self._dangling.size and self._dangling_policy == "uniform":
-            leaked = float(x[self._dangling].sum())
-            if leaked != 0.0:
+            # Per-column leaked mass; a scalar for 1-D input, a length-B
+            # row for matrix input (broadcast over every node).
+            leaked = x[self._dangling].sum(axis=0)
+            if np.any(leaked != 0.0):
                 y += leaked / self._n
+        return y
+
+    def decayed_operator(self, decay: float) -> sp.csr_array:
+        """The cached pre-scaled operator ``decay · Ã^T`` in CSR form.
+
+        The value array is scaled once and cached per decay factor; the
+        index structure is shared with :attr:`transition_transpose`, so an
+        extra decay costs only one data-array copy.
+        """
+        operator = self._decayed_cache.get(decay)
+        if operator is None:
+            base = self._transition_t
+            operator = sp.csr_array(
+                (base.data * decay, base.indices, base.indptr), shape=base.shape
+            )
+            self._decayed_cache[decay] = operator
+        return operator
+
+    def propagate_decayed(
+        self, x: np.ndarray, decay: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Apply the decayed operator: return ``decay · Ã^T x``.
+
+        Functionally ``decay * propagate(x)``, but the decay is folded into
+        a cached copy of the operator's value array
+        (:meth:`decayed_operator`), fusing the post-multiply pass into the
+        SpMV/SpMM itself.  This is the step CPI performs every iteration,
+        so both the single and the batched online phases call it — keeping
+        their floating-point operations, and therefore their results,
+        identical.
+
+        ``out`` optionally supplies a preallocated ``(n, B)`` result buffer
+        for matrix input; reusing one across iterations avoids the
+        allocation and page-fault churn of a fresh multi-megabyte matrix
+        per step.  The returned array is the result either way (it is
+        ``out`` only when the fast path ran).
+        """
+        operator = self.decayed_operator(decay)
+        if (
+            out is not None
+            and _csr_matvecs is not None
+            and x.ndim == 2
+            and x.flags.c_contiguous
+            and out.flags.c_contiguous
+            and out.shape == x.shape
+        ):
+            out.fill(0.0)  # the kernel accumulates into its output
+            _csr_matvecs(
+                self._n, self._n, x.shape[1],
+                operator.indptr, operator.indices, operator.data,
+                x.ravel(), out.ravel(),
+            )
+            y = out
+        else:
+            y = operator @ x
+        if self._dangling.size and self._dangling_policy == "uniform":
+            leaked = x[self._dangling].sum(axis=0)
+            if np.any(leaked != 0.0):
+                y += (decay / self._n) * leaked
         return y
 
     # -- structural helpers -----------------------------------------------------

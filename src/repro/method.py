@@ -5,29 +5,106 @@ follows the same two-phase protocol: an optional per-graph *preprocessing*
 phase, then a per-seed *online* phase.  :class:`PPRMethod` captures that
 protocol so the experiment harness can time, size, and score every method
 uniformly (Figures 1, 7, 10).
+
+The serving workload the paper motivates TPA with (Twitter-scale
+"Who to Follow" — top-500 RWR for millions of users) is *many seeds against
+one preprocessed graph*, so the protocol is batched: :meth:`PPRMethod.query_many`
+answers a whole seed batch in one call, and methods whose online phase is a
+power iteration override :meth:`PPRMethod._query_many` to push the entire
+seed *matrix* through the iteration — one sparse matmul per step for the
+whole batch instead of one Python-level query per seed.  The higher-level
+request/result machinery lives in :mod:`repro.engine`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 import numpy as np
 
 from repro.exceptions import NotPreprocessedError
 from repro.graph.graph import Graph
 
-__all__ = ["PPRMethod"]
+__all__ = ["PPRMethod", "select_top_k", "banned_mask"]
+
+
+def select_top_k(
+    scores: np.ndarray, k: int, banned: np.ndarray | None = None
+) -> np.ndarray:
+    """Indices of the ``k`` largest entries of ``scores``, best first.
+
+    Equivalent to ``np.argsort(-scores, kind="stable")`` filtered by
+    ``banned`` and truncated to ``k`` — ties broken by ascending node id —
+    but runs in ``O(n + k' log k')`` via :func:`np.argpartition` instead of
+    sorting all ``n`` nodes (``k'`` is ``k`` plus boundary ties).
+
+    Parameters
+    ----------
+    scores:
+        Length-``n`` score vector.
+    k:
+        Result size; fewer indices are returned when ``banned`` leaves
+        fewer than ``k`` nodes.
+    banned:
+        Optional boolean mask of nodes excluded from the ranking.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n = scores.size
+    if banned is not None and banned.any():
+        masked = scores.copy()
+        masked[banned] = -np.inf
+        available = n - int(np.count_nonzero(banned))
+    else:
+        masked = scores
+        available = n
+    kk = min(int(k), available)
+    if kk <= 0:
+        return np.empty(0, dtype=np.int64)
+    if kk < n:
+        # Value of the kk-th largest entry; every banned entry is -inf and
+        # therefore below it, so the candidate set never contains one.
+        kth = np.partition(masked, n - kk)[n - kk]
+        candidates = np.flatnonzero(masked >= kth)
+    else:
+        candidates = np.flatnonzero(masked > -np.inf)
+    # Primary key: score descending; secondary: node id ascending — the
+    # exact order of a stable argsort over the negated scores.
+    order = np.lexsort((candidates, -masked[candidates]))
+    return candidates[order[:kk]].astype(np.int64, copy=False)
+
+
+def banned_mask(
+    graph: Graph, seed: int, exclude_seed: bool, exclude_neighbors: bool
+) -> np.ndarray | None:
+    """Boolean mask of nodes excluded from a top-k ranking for ``seed``.
+
+    Returns ``None`` when nothing is excluded (the common fast path).
+    """
+    if not (exclude_seed or exclude_neighbors):
+        return None
+    banned = np.zeros(graph.num_nodes, dtype=bool)
+    if exclude_seed:
+        banned[seed] = True
+    if exclude_neighbors and hasattr(graph, "out_neighbors"):
+        neighbors = np.asarray(graph.out_neighbors(seed), dtype=np.int64)
+        if neighbors.size:
+            banned[neighbors] = True
+    return banned
 
 
 class PPRMethod(ABC):
     """Abstract base class for single-source RWR estimators.
 
     Subclasses set :attr:`name` and implement :meth:`_preprocess`,
-    :meth:`_query`, and :meth:`preprocessed_bytes`.
+    :meth:`_query`, and :meth:`preprocessed_bytes`.  Methods whose online
+    phase vectorizes over seeds additionally override :meth:`_query_many`.
 
-    The public wrappers enforce the protocol: :meth:`query` raises
+    The public wrappers enforce the protocol: :meth:`query` and
+    :meth:`query_many` raise
     :class:`~repro.exceptions.NotPreprocessedError` if the method has not
-    been bound to a graph, and validates the seed range.
+    been bound to a graph, and validate every seed's type and range in one
+    place (:meth:`validate_seed` / :meth:`validate_seeds`).
     """
 
     #: Human-readable method name used in reports (e.g. ``"TPA"``).
@@ -61,14 +138,71 @@ class PPRMethod(ABC):
         self._graph = graph
         self._preprocess(graph)
 
+    # -- seed validation (shared by every entry point) -------------------------
+
+    def validate_seed(self, seed: int | np.integer) -> int:
+        """Normalize one seed to a plain ``int`` and check its range.
+
+        Accepts Python ints and any NumPy integer scalar; rejects bools,
+        floats and other types with :class:`TypeError` (a truncated float
+        seed is almost always a bug) and out-of-range ids with
+        :class:`ValueError`.
+        """
+        if isinstance(seed, (bool, np.bool_)) or not isinstance(
+            seed, (int, np.integer)
+        ):
+            raise TypeError(
+                f"seed must be an integer node id, got {type(seed).__name__}"
+            )
+        seed = int(seed)
+        n = self.graph.num_nodes
+        if not 0 <= seed < n:
+            raise ValueError(f"seed {seed} out of range for graph with {n} nodes")
+        return seed
+
+    def validate_seeds(self, seeds: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Normalize a seed batch to a 1-D ``int64`` array, checked in bulk.
+
+        The dtype rules of :meth:`validate_seed` apply to the whole batch;
+        an empty batch is allowed and yields an empty array.
+        """
+        arr = np.asarray(seeds)
+        if arr.ndim != 1:
+            raise ValueError(f"seeds must be one-dimensional, got shape {arr.shape}")
+        if arr.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if arr.dtype == bool or not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError(
+                f"seeds must be integer node ids, got dtype {arr.dtype}"
+            )
+        arr = arr.astype(np.int64, copy=False)
+        n = self.graph.num_nodes
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < 0 or hi >= n:
+            raise ValueError(
+                f"seed ids must lie in [0, {n - 1}]; got range [{lo}, {hi}]"
+            )
+        return arr
+
+    # -- online phase -----------------------------------------------------------
+
     def query(self, seed: int) -> np.ndarray:
         """Return the length-``n`` approximate RWR score vector for ``seed``."""
-        graph = self.graph
-        if not 0 <= seed < graph.num_nodes:
-            raise ValueError(
-                f"seed {seed} out of range for graph with {graph.num_nodes} nodes"
-            )
-        return self._query(int(seed))
+        return self._query(self.validate_seed(seed))
+
+    def query_many(self, seeds: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Score a whole seed batch: returns a ``(len(seeds), n)`` matrix.
+
+        Row ``i`` equals ``query(seeds[i])``.  The base implementation
+        loops over :meth:`_query`; power-iteration methods (TPA, CPI,
+        BRPPR/RPPR, NB_LIN, BEAR, BePI) override :meth:`_query_many` to
+        propagate the whole seed matrix at once, which is the batched
+        engine's headline speedup.
+        """
+        seeds_arr = self.validate_seeds(seeds)
+        if seeds_arr.size == 0:
+            return np.zeros((0, self.graph.num_nodes), dtype=np.float64)
+        return self._query_many(seeds_arr)
 
     def top_k(self, seed: int, k: int, exclude_seed: bool = True,
               exclude_neighbors: bool = False) -> np.ndarray:
@@ -92,15 +226,33 @@ class PPRMethod(ABC):
         """
         if k < 1:
             raise ValueError("k must be at least 1")
-        scores = self.query(seed)
-        banned = set()
-        if exclude_seed:
-            banned.add(int(seed))
-        if exclude_neighbors and hasattr(self.graph, "out_neighbors"):
-            banned.update(int(v) for v in self.graph.out_neighbors(seed))
-        order = np.argsort(-scores, kind="stable")
-        picks = [int(node) for node in order if int(node) not in banned]
-        return np.asarray(picks[:k], dtype=np.int64)
+        seed = self.validate_seed(seed)
+        scores = self._query(seed)
+        banned = banned_mask(self.graph, seed, exclude_seed, exclude_neighbors)
+        return select_top_k(scores, k, banned)
+
+    def top_k_many(self, seeds: Sequence[int] | np.ndarray, k: int,
+                   exclude_seeds: bool = True,
+                   exclude_neighbors: bool = False) -> np.ndarray:
+        """Top-``k`` rankings for a whole seed batch.
+
+        Returns a ``(len(seeds), k)`` ``int64`` matrix; row ``i`` holds the
+        ranking of ``seeds[i]`` best-first, padded with ``-1`` when fewer
+        than ``k`` nodes remain after exclusion.  Scoring goes through
+        :meth:`query_many`, so vectorized methods answer the whole batch
+        with one pass over the graph.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        seeds_arr = self.validate_seeds(seeds)
+        scores = self.query_many(seeds_arr)
+        result = np.full((seeds_arr.size, int(k)), -1, dtype=np.int64)
+        for i, seed in enumerate(seeds_arr.tolist()):
+            banned = banned_mask(self.graph, seed, exclude_seeds,
+                                 exclude_neighbors)
+            picks = select_top_k(scores[i], k, banned)
+            result[i, : picks.size] = picks
+        return result
 
     @abstractmethod
     def preprocessed_bytes(self) -> int:
@@ -119,6 +271,14 @@ class PPRMethod(ABC):
     @abstractmethod
     def _query(self, seed: int) -> np.ndarray:
         """Method-specific online phase for a validated seed."""
+
+    def _query_many(self, seeds: np.ndarray) -> np.ndarray:
+        """Method-specific batched online phase for validated seeds.
+
+        ``seeds`` is a non-empty 1-D ``int64`` array.  The default loops
+        over :meth:`_query`; vectorized methods override it.
+        """
+        return np.stack([self._query(int(seed)) for seed in seeds])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "preprocessed" if self.is_preprocessed else "unbound"

@@ -56,6 +56,88 @@ class TestQueryCommand:
         assert scores == sorted(scores, reverse=True)
 
 
+class TestBatchQuery:
+    def test_seeds_comma_list(self, edge_file, capsys):
+        code = main([
+            "query", "--graph", str(edge_file), "--seeds", "5,9,12",
+            "--top", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and not l.startswith("#")]
+        assert lines[0] == "seed\trank\tnode\tscore"
+        assert len(lines) == 1 + 3 * 4  # header + 3 seeds x 4 rows
+        # Each seed ranks itself first (exclude_seed is off in the CLI).
+        first_rows = [l for l in lines[1:] if l.split("\t")[1] == "1"]
+        assert [row.split("\t")[0] for row in first_rows] == ["5", "9", "12"]
+        assert [row.split("\t")[2] for row in first_rows] == ["5", "9", "12"]
+
+    def test_seeds_file(self, edge_file, tmp_path, capsys):
+        seed_file = tmp_path / "seeds.txt"
+        seed_file.write_text("5\n9\n")
+        code = main([
+            "query", "--graph", str(edge_file),
+            "--seeds", f"@{seed_file}", "--top", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# queries=2" in out
+
+    def test_batch_flag_forces_batch_format(self, edge_file, capsys):
+        code = main([
+            "query", "--graph", str(edge_file), "--seed", "5", "--batch",
+            "--top", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed\trank\tnode\tscore" in out
+
+    def test_seed_and_seeds_combine(self, edge_file, capsys):
+        code = main([
+            "query", "--graph", str(edge_file), "--seed", "5",
+            "--seeds", "9", "--top", "2",
+        ])
+        assert code == 0
+        assert "# queries=2" in capsys.readouterr().out
+
+    def test_missing_seed_in_batch(self, edge_file, capsys):
+        code = main([
+            "query", "--graph", str(edge_file), "--seeds", "5,999999",
+        ])
+        assert code == 2
+        assert "not present" in capsys.readouterr().err
+
+    def test_no_seed_arguments(self, edge_file, capsys):
+        code = main(["query", "--graph", str(edge_file)])
+        assert code == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_batch_matches_single_runs(self, edge_file, capsys):
+        main(["query", "--graph", str(edge_file), "--seeds", "7,11",
+              "--top", "5"])
+        batch_out = capsys.readouterr().out
+        main(["query", "--graph", str(edge_file), "--seed", "7",
+              "--top", "5"])
+        single_out = capsys.readouterr().out
+        single_rows = [
+            l.split("\t") for l in single_out.splitlines()
+            if l and l[0].isdigit()
+        ]
+        batch_rows = [
+            l.split("\t")[1:] for l in batch_out.splitlines()
+            if l.startswith("7\t")
+        ]
+        assert batch_rows == single_rows
+
+    def test_cpi_method_available(self, edge_file, capsys):
+        code = main([
+            "query", "--graph", str(edge_file), "--seed", "0",
+            "--method", "cpi", "--top", "3",
+        ])
+        assert code == 0
+        assert "method=CPI" in capsys.readouterr().out
+
+
 class TestStatsCommand:
     def test_stats_output(self, edge_file, capsys):
         assert main(["stats", "--graph", str(edge_file)]) == 0

@@ -1,0 +1,92 @@
+"""Tests for the method registry (repro.engine.registry)."""
+
+import pytest
+
+from repro.engine import (
+    available_methods,
+    create_method,
+    method_spec,
+    register_method,
+)
+from repro.engine.registry import _LOOKUP, _REGISTRY
+from repro.exceptions import ParameterError
+from repro.method import PPRMethod
+
+#: Fast constructor overrides for the round-trip test (keep the stochastic
+#: methods' preprocessing small on the 400-node fixture).
+FAST_PARAMS = {
+    "tpa": dict(s_iteration=3, t_iteration=6),
+    "nblin": dict(rank=10, seed=0),
+    "hubppr": dict(seed=0, max_walks=2_000, refine_top=10),
+}
+
+
+class TestResolution:
+    def test_expected_suite_registered(self):
+        names = available_methods()
+        for expected in ("tpa", "cpi", "brppr", "rppr", "fora", "bear",
+                         "hubppr", "nblin", "bepi"):
+            assert expected in names
+
+    def test_unknown_method_lists_choices(self):
+        with pytest.raises(ParameterError, match="available:"):
+            create_method("pagerank-turbo")
+
+    def test_case_and_separator_insensitive(self):
+        assert method_spec("TPA").name == "tpa"
+        assert method_spec("NB_LIN").name == "nblin"
+        assert method_spec("nb-lin").name == "nblin"
+        assert method_spec("BEAR_APPROX").name == "bear"
+        assert method_spec("HubPPR").name == "hubppr"
+
+    def test_params_forwarded(self):
+        method = create_method("tpa", s_iteration=7, t_iteration=9)
+        assert method.s_iteration == 7
+        assert method.t_iteration == 9
+
+    def test_collision_rejected(self):
+        with pytest.raises(ParameterError, match="collides"):
+            register_method("t-p-a", lambda: None)  # normalizes to "tpa"
+
+    def test_registration_round_trip(self):
+        class Custom(PPRMethod):
+            name = "Custom"
+
+            def _preprocess(self, graph):
+                pass
+
+            def _query(self, seed):
+                raise NotImplementedError
+
+            def preprocessed_bytes(self):
+                return 0
+
+        try:
+            register_method("custom-test", Custom, "test-only entry")
+            assert "custom-test" in available_methods()
+            assert isinstance(create_method("CUSTOM_TEST"), Custom)
+        finally:
+            _REGISTRY.pop("custom-test", None)
+            _LOOKUP.pop("customtest", None)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", available_methods())
+    def test_every_method_constructs_and_answers(self, name, small_community):
+        """create_method(name) for every available_methods() entry yields a
+        working PPRMethod: preprocess, query, query_many, top_k."""
+        method = create_method(name, **FAST_PARAMS.get(name, {}))
+        assert isinstance(method, PPRMethod)
+        assert not method.is_preprocessed
+        method.preprocess(small_community)
+        scores = method.query(3)
+        assert scores.shape == (small_community.num_nodes,)
+        assert method.query_many([3, 4]).shape == (
+            2, small_community.num_nodes
+        )
+        assert method.top_k(3, 5).size == 5
+        assert method.preprocessed_bytes() >= 0
+
+    def test_descriptions_present(self):
+        for name in available_methods():
+            assert method_spec(name).description
