@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Append one measured perf-trajectory entry to BENCH_kernels.json.
+
+Runs the kernel microbenchmarks (SpMV / blocked SpMM on the transition
+operator) and the end-to-end serving benchmark (batched TPA queries/sec,
+looped queries/sec for contrast) on a synthetic community graph, then
+appends a single JSON object — one line per run — to
+``BENCH_kernels.json`` at the repository root::
+
+    python benchmarks/record.py                # defaults: 20k nodes, B=64
+    python benchmarks/record.py --nodes 50000 --batch 128
+    REPRO_KERNEL=numpy python benchmarks/record.py   # record the fallback
+
+Each entry carries the commit, backend, compute dtype, graph size, and
+wall-times, so the perf trajectory of the kernel layer is diffable
+across commits: filter to matching ``backend``/``graph`` fields and
+compare ``queries_per_second_batched`` (end to end) or
+``spmm_seconds``/``spmv_seconds`` (kernel level).  Timings are best-of-N
+wall clock — the min filters scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script-style invocation
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import kernels  # noqa: E402
+from repro.core.tpa import TPA  # noqa: E402
+from repro.graph.generators import community_graph  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+
+
+def _best_of(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - begin)
+    return min(samples)
+
+
+def _commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
+    graph = community_graph(
+        nodes, avg_degree=avg_degree,
+        num_communities=max(8, nodes // 500), seed=7,
+    )
+    operator = graph.transition_transpose
+    rng = np.random.default_rng(0)
+    dtype = kernels.compute_dtype()
+
+    vec = rng.random(graph.num_nodes).astype(dtype)
+    vec_out = np.empty_like(vec)
+    mat = rng.random((graph.num_nodes, batch)).astype(dtype)
+    mat_out = np.empty_like(mat)
+    operator_cast = graph.decayed_operator(1.0, dtype=dtype)
+
+    kernels.spmv(operator_cast, vec, out=vec_out)  # warm-up / JIT compile
+    kernels.spmm(operator_cast, mat, out=mat_out)
+    spmv_seconds = _best_of(
+        lambda: kernels.spmv(operator_cast, vec, out=vec_out), repeats
+    )
+    spmm_seconds = _best_of(
+        lambda: kernels.spmm(operator_cast, mat, out=mat_out), repeats
+    )
+
+    method = TPA(s_iteration=5, t_iteration=10)
+    begin = time.perf_counter()
+    method.preprocess(graph)
+    preprocess_seconds = time.perf_counter() - begin
+
+    seeds = rng.choice(graph.num_nodes, size=batch, replace=False)
+    method.query_many(seeds)  # warm caches and retained buffers
+    batched_seconds = _best_of(lambda: method.query_many(seeds), repeats)
+    looped_seconds = _best_of(
+        lambda: [method.query(int(seed)) for seed in seeds],
+        max(1, repeats // 3),
+    )
+
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _commit(),
+        "backend": kernels.get_backend(),
+        "compute_dtype": np.dtype(dtype).name,
+        "graph": {
+            "kind": "community",
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "avg_degree": avg_degree,
+        },
+        "batch": int(batch),
+        "spmv_seconds": spmv_seconds,
+        "spmm_seconds": spmm_seconds,
+        "preprocess_seconds": preprocess_seconds,
+        "queries_per_second_batched": batch / batched_seconds,
+        "queries_per_second_looped": batch / looped_seconds,
+        "batched_over_looped_speedup": looped_seconds / batched_seconds,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record a BENCH_kernels.json perf-trajectory entry"
+    )
+    parser.add_argument("--nodes", type=int, default=20_000)
+    parser.add_argument("--avg-degree", type=int, default=16)
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument(
+        "--backend", choices=("auto", "numba", "numpy"), default="auto",
+        help="kernel backend to measure (default: auto-selected)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"JSON-lines file to append to (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    kernels.set_backend(None if args.backend == "auto" else args.backend)
+    entry = measure(args.nodes, args.avg_degree, args.batch, args.repeats)
+
+    with open(args.output, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    print(f"\nappended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,8 +30,39 @@ The original single-seed API remains fully supported:
 >>> method.preprocess(graph)          # Algorithm 2: stranger approximation
 >>> scores = method.query(0)          # Algorithm 3: family + neighbor approx
 
+Kernel backends, float32 mode, and the perf trajectory
+------------------------------------------------------
+Every hot loop (CPI iterates, TPA's phases, the power-iteration
+baselines) runs its CSR SpMV/SpMM products on :mod:`repro.kernels`,
+which auto-selects a Numba-JIT, thread-parallel backend at import when
+Numba is installed and otherwise uses a pure NumPy/SciPy fallback that
+is bitwise identical to the plain ``operator @ x`` path.  Control it
+with ``REPRO_KERNEL=numba|numpy`` or ``repro.kernels.set_backend``:
+
+>>> from repro import kernels
+>>> kernels.get_backend() in ("numba", "numpy")
+True
+
+Opt into single-precision compute with ``REPRO_KERNEL_DTYPE=float32``
+or ``kernels.set_compute_dtype("float32")`` — roughly half the memory
+traffic for an L1 error below ``~1e-5`` on the bundled graphs (see the
+:mod:`repro.kernels` docstring for when to keep float64).  The Engine's
+LRU cache keys on ``kernels.cache_token()``, so switching backend or
+dtype mid-serve never replays a stale vector.  ``Engine(...,
+reorder="slashburn")`` additionally relabels the graph into SlashBurn
+hub/spoke order for cache-friendly blocked SpMM, translating node ids at
+the API boundary.
+
+The measured trajectory lives in ``BENCH_kernels.json`` (one JSON object
+per line; run ``python benchmarks/record.py`` to append): compare
+``queries_per_second_batched`` across commits at matching
+``backend``/``graph`` fields, and ``spmv_seconds``/``spmm_seconds`` for
+kernel-level wins.
+
 Package map
 -----------
+* :mod:`repro.kernels` — the compiled sparse-kernel layer (backends,
+  ``spmv``/``spmm``, ``Workspace``, SlashBurn locality reordering).
 * :mod:`repro.engine` — the batched query engine (``Engine``,
   ``QueryRequest``/``QueryResult``) and the method registry
   (``available_methods`` / ``create_method``).
@@ -118,6 +149,7 @@ from repro.engine import (
 )
 from repro.graph.diskgraph import DiskGraph
 from repro.graph.stats import GraphStats, graph_stats
+from repro import kernels
 from repro.metrics import (
     l1_error,
     top_k,
@@ -205,5 +237,6 @@ __all__ = [
     "ndcg_at_k",
     "MemoryBudget",
     "format_bytes",
+    "kernels",
     "__version__",
 ]

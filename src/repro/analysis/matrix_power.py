@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import kernels
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 
@@ -39,8 +40,11 @@ def _matrix_powers(graph: Graph, max_power: int) -> list[sp.csr_array | np.ndarr
     n = graph.num_nodes
     for _ in range(max_power - 1):
         if isinstance(current, np.ndarray):
-            current = current @ base.toarray() if n <= 4096 else current @ base
-            current = np.asarray(current)
+            # Powers commute, so advancing from the left keeps the
+            # computation one blocked CSR x dense product on the kernel
+            # layer — O(nnz · n) instead of the dense GEMM's O(n³), and
+            # thread-parallel under the numba backend.
+            current = kernels.spmm(base, current)
         else:
             current = (current @ base).tocsr()
             if current.nnz > _DENSIFY_THRESHOLD * n * n:

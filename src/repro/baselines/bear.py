@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import kernels
 from repro.exceptions import MemoryBudgetExceeded, ParameterError
 from repro.graph.graph import Graph
 from repro.graph.slashburn import slashburn
@@ -125,7 +126,7 @@ class BearApprox(PPRMethod):
         )
 
         if n2:
-            schur = h22 - (h21 @ (h11_inv @ h12.toarray()))
+            schur = h22 - kernels.spmm(h21, kernels.spmm(h11_inv, h12.toarray()))
             schur_inv = np.linalg.inv(schur)
             if drop > 0:
                 schur_inv[np.abs(schur_inv) < drop] = 0.0
@@ -173,11 +174,16 @@ class BearApprox(PPRMethod):
         q1, q2 = q[:n1], q[n1:]
 
         if q.size - n1:
-            r2 = self._schur_inv @ (q2 - self._h21 @ (self._h11_inv @ q1))
-            r1 = self._h11_inv @ (q1 - self._h12 @ r2)
+            # The elimination chain is four SpMVs on the kernel layer
+            # (identical numerics to the sparse @ operator).
+            r2 = kernels.spmv(
+                self._schur_inv,
+                q2 - kernels.spmv(self._h21, kernels.spmv(self._h11_inv, q1)),
+            )
+            r1 = kernels.spmv(self._h11_inv, q1 - kernels.spmv(self._h12, r2))
         else:
             r2 = np.zeros(0)
-            r1 = self._h11_inv @ q1
+            r1 = kernels.spmv(self._h11_inv, q1)
 
         permuted_result = np.concatenate([r1, r2])
         return permuted_result[self._inverse_order]
@@ -199,11 +205,16 @@ class BearApprox(PPRMethod):
         q1, q2 = q[:n1], q[n1:]
 
         if n - n1:
-            r2 = self._schur_inv @ (q2 - self._h21 @ (self._h11_inv @ q1))
-            r1 = self._h11_inv @ (q1 - self._h12 @ r2)
+            # Same chain as the single-seed path but blocked: one SpMM per
+            # factor for the whole batch on the kernel layer.
+            r2 = kernels.spmm(
+                self._schur_inv,
+                q2 - kernels.spmm(self._h21, kernels.spmm(self._h11_inv, q1)),
+            )
+            r1 = kernels.spmm(self._h11_inv, q1 - kernels.spmm(self._h12, r2))
         else:
             r2 = np.zeros((0, seeds.size))
-            r1 = self._h11_inv @ q1
+            r1 = kernels.spmm(self._h11_inv, q1)
 
         permuted_result = np.concatenate([r1, r2], axis=0)
         return np.ascontiguousarray(permuted_result[self._inverse_order].T)

@@ -23,6 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import kernels
 from repro.exceptions import ConvergenceError, MemoryBudgetExceeded, ParameterError
 from repro.graph.graph import Graph
 from repro.graph.slashburn import slashburn
@@ -135,16 +136,13 @@ class BePI(PPRMethod):
         q1, q2 = q[:n1], q[n1:]
 
         if n2 == 0:
-            r1 = self._h11_inv @ q1
+            r1 = kernels.spmv(self._h11_inv, q1)
             return r1[self._inverse_order]
 
-        h11_inv, h12, h21, h22 = self._h11_inv, self._h12, self._h21, self._h22
-
-        def schur_matvec(x: np.ndarray) -> np.ndarray:
-            return h22 @ x - h21 @ (h11_inv @ (h12 @ x))
-
-        operator = spla.LinearOperator((n2, n2), matvec=schur_matvec)
-        rhs = q2 - h21 @ (h11_inv @ q1)
+        operator = self._schur_operator(n1, n2)
+        rhs = q2 - kernels.spmv(
+            self._h21, kernels.spmv(self._h11_inv, q1)
+        )
         r2, info = spla.gmres(
             operator, rhs, rtol=self.solver_tol, atol=0.0, maxiter=1000
         )
@@ -152,10 +150,33 @@ class BePI(PPRMethod):
             raise ConvergenceError(
                 f"BePI inner GMRES did not converge (info={info})"
             )
-        r1 = h11_inv @ (q1 - h12 @ r2)
+        r1 = kernels.spmv(self._h11_inv, q1 - kernels.spmv(self._h12, r2))
 
         permuted_result = np.concatenate([r1, r2])
         return permuted_result[self._inverse_order]
+
+    def _schur_operator(self, n1: int, n2: int) -> spla.LinearOperator:
+        """The matrix-free Schur complement ``S x = H22 x - H21 H11⁻¹ H12 x``.
+
+        GMRES applies it dozens of times per query, so the three chained
+        SpMVs run on the kernel layer with preallocated scratch buffers —
+        only the returned difference (which GMRES may retain) is a fresh
+        allocation.
+        """
+        h11_inv, h12, h21, h22 = self._h11_inv, self._h12, self._h21, self._h22
+        scratch1 = np.empty(n1)
+        scratch2 = np.empty(n1)
+        folded = np.empty(n2)
+
+        def schur_matvec(x: np.ndarray) -> np.ndarray:
+            kernels.spmv(h12, x, out=scratch1)
+            kernels.spmv(h11_inv, scratch1, out=scratch2)
+            kernels.spmv(h21, scratch2, out=folded)
+            result = kernels.spmv(h22, x)
+            result -= folded
+            return result
+
+        return spla.LinearOperator((n2, n2), matvec=schur_matvec)
 
     def _query_many(self, seeds: np.ndarray) -> np.ndarray:
         """Batched online phase: the heavy sparse algebra (right-hand
@@ -177,16 +198,13 @@ class BePI(PPRMethod):
         q1, q2 = q[:n1], q[n1:]
 
         if n2 == 0:
-            r1 = self._h11_inv @ q1
+            r1 = kernels.spmm(self._h11_inv, q1)
             return np.ascontiguousarray(r1[self._inverse_order].T)
 
-        h11_inv, h12, h21, h22 = self._h11_inv, self._h12, self._h21, self._h22
-
-        def schur_matvec(x: np.ndarray) -> np.ndarray:
-            return h22 @ x - h21 @ (h11_inv @ (h12 @ x))
-
-        operator = spla.LinearOperator((n2, n2), matvec=schur_matvec)
-        rhs = q2 - h21 @ (h11_inv @ q1)
+        operator = self._schur_operator(n1, n2)
+        rhs = q2 - kernels.spmm(
+            self._h21, kernels.spmm(self._h11_inv, q1)
+        )
         r2 = np.empty((n2, batch))
         for column in range(batch):
             solution, info = spla.gmres(
@@ -198,7 +216,7 @@ class BePI(PPRMethod):
                     f"BePI inner GMRES did not converge (info={info})"
                 )
             r2[:, column] = solution
-        r1 = h11_inv @ (q1 - h12 @ r2)
+        r1 = kernels.spmm(self._h11_inv, q1 - kernels.spmm(self._h12, r2))
 
         permuted_result = np.concatenate([r1, r2], axis=0)
         return np.ascontiguousarray(permuted_result[self._inverse_order].T)

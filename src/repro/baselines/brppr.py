@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.method import PPRMethod
@@ -86,9 +87,11 @@ class BRPPR(PPRMethod):
         graph = self.graph
         n = graph.num_nodes
         active_idx = np.flatnonzero(active)
-        # Row slice of the row-normalized adjacency: propagating the active
-        # mass x_a costs O(nnz of these rows): x_a @ Ã[active] = Ã^T x.
-        active_rows = graph.transition[active_idx]
+        # Row slice of the row-normalized adjacency, transposed to CSR and
+        # pre-scaled by 1-c: propagating the active mass x_a is one kernel
+        # SpMV over O(nnz of these rows): (1-c)·Ã[active]^T x_a.
+        decayed_rows_t = graph.transition[active_idx].T.tocsr()
+        decayed_rows_t.data *= 1.0 - self.c
         # Under the 'uniform' policy, active dangling nodes spread their
         # mass over the whole graph; their rows in Ã are empty, so the
         # correction is applied manually.
@@ -101,13 +104,18 @@ class BRPPR(PPRMethod):
         x = np.zeros(n)
         x[seed] = self.c
         scores += x
+        # Ping-pong SpMV buffers: one allocation pair per restricted
+        # solve instead of one fresh vector per sweep.
+        buffers = (np.empty(n), np.empty(n))
+        sweep = 0
         # Rank absorbed outside the active set never propagates further.
         while True:
             inside = x[active_idx]
             inside_norm = float(inside.sum())
             if inside_norm < self.tol:
                 break
-            x = (1.0 - self.c) * (inside @ active_rows)
+            x = kernels.spmv(decayed_rows_t, inside, out=buffers[sweep % 2])
+            sweep += 1
             if dangling_local.size:
                 leaked = float(inside[dangling_local].sum())
                 if leaked:
@@ -165,7 +173,11 @@ class BRPPR(PPRMethod):
         graph = self.graph
         n = graph.num_nodes
         union = np.flatnonzero(active.any(axis=1))
-        active_rows_t = graph.transition[union].T
+        # Same pre-scaled CSR operator shape as the single-seed solve, so
+        # every column's per-entry arithmetic matches it bit for bit; the
+        # sweep is one blocked SpMM on the kernel layer.
+        decayed_rows_t = graph.transition[union].T.tocsr()
+        decayed_rows_t.data *= 1.0 - self.c
         if graph.dangling_policy == "uniform":
             dangling_union = np.flatnonzero(np.isin(union, graph.dangling_nodes))
         else:
@@ -178,13 +190,16 @@ class BRPPR(PPRMethod):
         scores += x
         union_active = active[union]
         running = np.ones(batch, dtype=bool)
+        buffers = (np.empty((n, batch)), np.empty((n, batch)))
+        sweep = 0
         while True:
             inside = np.where(union_active, x[union], 0.0)
             running = running & (inside.sum(axis=0) >= self.tol)
             if not running.any():
                 break
             inside[:, ~running] = 0.0
-            x = (1.0 - self.c) * (active_rows_t @ inside)
+            x = kernels.spmm(decayed_rows_t, inside, out=buffers[sweep % 2])
+            sweep += 1
             if dangling_union.size:
                 leaked = inside[dangling_union].sum(axis=0)
                 if np.any(leaked != 0.0):

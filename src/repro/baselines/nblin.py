@@ -30,9 +30,11 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro import kernels
 from repro.exceptions import MemoryBudgetExceeded, ParameterError
 from repro.graph.graph import Graph
 from repro.graph.partition import partition_graph
+from repro.kernels import Workspace
 from repro.method import PPRMethod
 
 __all__ = ["NBLin"]
@@ -90,6 +92,9 @@ class NBLin(PPRMethod):
         self._u: np.ndarray | None = None
         self._vt: np.ndarray | None = None
         self._lambda: np.ndarray | None = None
+        # Seed-matrix buffers retained between batched queries (counted in
+        # preprocessed_bytes).
+        self._workspace = Workspace()
 
     # -- preprocessing ------------------------------------------------------------
 
@@ -141,7 +146,19 @@ class NBLin(PPRMethod):
             # Deterministic start vector: svds defaults to a random one,
             # which would make preprocessing non-reproducible.
             v0 = np.random.default_rng(self.seed).random(n)
-            u, sigma, vt = spla.svds(w2_t.astype(np.float64), k=t, v0=v0)
+            # The Lanczos iterations inside svds are all SpMV applications
+            # of W2^T and its transpose — expose them as a matrix-free
+            # operator so they run on the kernel layer.
+            w2 = w2_t.T.tocsr()
+            operator = spla.LinearOperator(
+                w2_t.shape,
+                matvec=lambda v: kernels.spmv(w2_t, v),
+                rmatvec=lambda v: kernels.spmv(w2, v),
+                matmat=lambda m: kernels.spmm(w2_t, m),
+                rmatmat=lambda m: kernels.spmm(w2, m),
+                dtype=np.float64,
+            )
+            u, sigma, vt = spla.svds(operator, k=t, v0=v0)
             nonzero = sigma > 1e-12
             u, sigma, vt = u[:, nonzero], sigma[nonzero], vt[nonzero]
             if sigma.size == 0:
@@ -167,6 +184,7 @@ class NBLin(PPRMethod):
         for factor in (self._u, self._vt, self._lambda):
             if factor is not None:
                 total += factor.nbytes
+        total += self._workspace.nbytes()
         return int(total)
 
     # -- online phase ----------------------------------------------------------------
@@ -198,7 +216,8 @@ class NBLin(PPRMethod):
         if self._u is None or self._vt is None or self._lambda is None:
             raise ParameterError("NB_LIN preprocessing did not complete")
         n = self.graph.num_nodes
-        q = np.zeros((n, seeds.size))
+        q = self._workspace.request("seed_matrix", (n, seeds.size))
+        q.fill(0.0)
         q[seeds, np.arange(seeds.size)] = self.c
 
         base = self._apply_q_inverse(q)

@@ -81,13 +81,18 @@ class RPPR(PPRMethod):
         # Rank parked on inactive vertices waits (is not propagated) until
         # the vertex activates; it then re-enters the flow.
         parked = np.zeros(n)
+        # Decay folded into the cached operator + ping-pong output buffers:
+        # each sweep is one kernel SpMV with no fresh allocation.
+        buffers = (np.empty(n), np.empty(n))
 
-        for _ in range(self.max_sweeps):
+        for sweep in range(self.max_sweeps):
             inside = np.where(active, x + parked, 0.0)
             parked = np.where(active, 0.0, parked + x)
             if float(inside.sum()) < self.tol:
                 break
-            x = (1.0 - self.c) * graph.propagate(inside)
+            x = graph.propagate_decayed(
+                inside, 1.0 - self.c, out=buffers[sweep % 2]
+            )
             scores += x
             # Activate vertices whose accumulated rank crossed the bar.
             newly = (~active) & (scores > self.expand_threshold)
@@ -120,8 +125,9 @@ class RPPR(PPRMethod):
         scores += x
         parked = np.zeros((n, batch))
         running = np.ones(batch, dtype=bool)
+        buffers = (np.empty((n, batch)), np.empty((n, batch)))
 
-        for _ in range(self.max_sweeps):
+        for sweep in range(self.max_sweeps):
             inside = np.where(active, x + parked, 0.0)
             parked = np.where(active, 0.0, parked + x)
             running = running & (inside.sum(axis=0) >= self.tol)
@@ -129,7 +135,9 @@ class RPPR(PPRMethod):
                 break
             # Frozen columns stop propagating; their scores are final.
             inside[:, ~running] = 0.0
-            x = (1.0 - self.c) * graph.propagate(inside)
+            x = graph.propagate_decayed(
+                inside, 1.0 - self.c, out=buffers[sweep % 2]
+            )
             scores += x
             newly = (~active) & (scores > self.expand_threshold)
             if newly.any():

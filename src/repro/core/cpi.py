@@ -24,8 +24,10 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ConvergenceError, ParameterError
 from repro.graph.graph import Graph
+from repro.kernels import Workspace
 from repro.method import PPRMethod
 
 __all__ = [
@@ -74,10 +76,11 @@ def seed_vector(graph: Graph, seeds: int | Sequence[int] | None) -> np.ndarray:
 
     ``seeds`` may be a single node (RWR), a sequence of nodes (personalized
     PageRank with uniform mass over them), or ``None`` for all nodes
-    (global PageRank).
+    (global PageRank).  The vector is allocated in the kernel layer's
+    compute dtype (float64 unless the float32 policy is active).
     """
     n = graph.num_nodes
-    q = np.zeros(n, dtype=np.float64)
+    q = np.zeros(n, dtype=kernels.compute_dtype())
     if seeds is None:
         q[:] = 1.0 / n
         return q
@@ -123,7 +126,9 @@ def seed_matrix(graph: Graph, seeds: Sequence[int] | np.ndarray) -> np.ndarray:
     every query simultaneously.
     """
     seeds_arr = _validate_seed_batch(graph, seeds)
-    q = np.zeros((graph.num_nodes, seeds_arr.size), dtype=np.float64)
+    q = np.zeros(
+        (graph.num_nodes, seeds_arr.size), dtype=kernels.compute_dtype()
+    )
     q[seeds_arr, np.arange(seeds_arr.size)] = 1.0
     return q
 
@@ -145,6 +150,7 @@ def cpi(
     start_iteration: int = 0,
     terminal_iteration: int | None = None,
     max_iterations: int = _MAX_ITERATIONS_DEFAULT,
+    workspace: Workspace | None = None,
 ) -> CPIResult:
     """Run CPI and accumulate iterations ``start_iteration..terminal_iteration``.
 
@@ -166,6 +172,10 @@ def cpi(
     max_iterations:
         Safety cap; exceeding it raises
         :class:`~repro.exceptions.ConvergenceError`.
+    workspace:
+        Optional :class:`~repro.kernels.Workspace` the iterate ping-pong
+        buffers are drawn from (and retained in between calls); ``None``
+        allocates per call.
 
     Returns
     -------
@@ -197,6 +207,13 @@ def cpi(
     if residual < tol:
         converged = True
 
+    use_decayed = hasattr(graph, "propagate_decayed")
+    buffers = (
+        workspace.pair("cpi.vec", x.shape, x.dtype)
+        if workspace is not None and use_decayed
+        else None
+    )
+
     while not converged:
         if terminal_iteration is not None and iteration >= terminal_iteration:
             break
@@ -206,8 +223,12 @@ def cpi(
                 f"(residual {residual:.3e}, tol {tol:.3e})"
             )
         iteration += 1
-        if hasattr(graph, "propagate_decayed"):
-            x = graph.propagate_decayed(x, 1.0 - c)
+        if use_decayed:
+            # Alternating workspace buffers: `out` is never the buffer `x`
+            # currently occupies (x starts outside the pair and then hops
+            # between the two).
+            out = buffers[iteration % 2] if buffers is not None else None
+            x = graph.propagate_decayed(x, 1.0 - c, out=out)
         else:  # duck-typed substrates that only offer the plain operator
             x = (1.0 - c) * graph.propagate(x)
         if iteration >= start_iteration:
@@ -260,18 +281,20 @@ def cpi_many(
     start_iteration: int = 0,
     terminal_iteration: int | None = None,
     max_iterations: int = _MAX_ITERATIONS_DEFAULT,
+    workspace: Workspace | None = None,
 ) -> CPIManyResult:
     """Batched CPI: run Algorithm 1 for every seed in one propagation loop.
 
     Semantically equivalent to calling :func:`cpi` once per seed, but each
     iteration applies ``Ã^T`` to the whole ``(n, B)`` interim matrix — one
-    sparse matmul for the batch instead of ``B`` SpMVs plus Python
-    overhead.  Columns that converge early are frozen (zeroed) so their
-    accumulated scores match the single-seed run exactly.
+    blocked SpMM for the batch (via :mod:`repro.kernels`) instead of ``B``
+    SpMVs plus Python overhead.  Columns that converge early are frozen
+    (zeroed) so their accumulated scores match the single-seed run exactly.
 
-    Parameters are as in :func:`cpi`; ``seeds`` must be a non-empty batch
-    of node ids (batched PageRank seeding makes no sense — every column
-    would be identical).
+    Parameters are as in :func:`cpi` (including the optional retained
+    ``workspace`` for the SpMM ping-pong buffers); ``seeds`` must be a
+    non-empty batch of node ids (batched PageRank seeding makes no sense —
+    every column would be identical).
     """
     _validate(c, tol, start_iteration)
     if terminal_iteration is not None and terminal_iteration < start_iteration:
@@ -281,11 +304,12 @@ def cpi_many(
         )
 
     decay = 1.0 - c
+    dtype = kernels.compute_dtype()
     seeds_arr = _validate_seed_batch(graph, seeds)
     # The scaled seed matrix c·Q, scattered directly (c·1 == c exactly, so
     # this matches seed_matrix() followed by a full *= c pass, minus the
     # pass over the whole (n, B) buffer).
-    x = np.zeros((graph.num_nodes, seeds_arr.size), dtype=np.float64)
+    x = np.zeros((graph.num_nodes, seeds_arr.size), dtype=dtype)
     x[seeds_arr, np.arange(seeds_arr.size)] = c
 
     # Interim vectors are nonnegative (nonnegative operator applied to a
@@ -304,8 +328,15 @@ def cpi_many(
         scores = np.zeros_like(x)
     # The unit-column shortcut below requires the pristine seed matrix and
     # an in-memory CSR transition (duck-typed substrates like DiskGraph
-    # only expose propagate/propagate_decayed).
-    gather_first = not converged.any() and hasattr(graph, "transition")
+    # only expose propagate/propagate_decayed).  It also requires float64:
+    # the gather computes in the transition's native precision, and its
+    # bitwise-match argument against the SpMM kernel only holds when the
+    # iterate shares it.
+    gather_first = (
+        not converged.any()
+        and hasattr(graph, "transition")
+        and dtype == np.float64
+    )
     if converged.any():
         x[:, converged] = 0.0
 
@@ -317,8 +348,11 @@ def cpi_many(
     analytic_norm = c
     check_floor = tol * 1e3
 
-    # Ping-pong output buffer for the SpMM; never the scores alias.
+    # Ping-pong output buffer for the SpMM; never the scores alias.  With
+    # a retained workspace, at most two (n, B) buffers are drawn from it
+    # and reused across calls; otherwise they are allocated here.
     spare: np.ndarray | None = None
+    spare_slot = 0
     # Sparse (rows, cols, vals) triplet of the current iterate while it is
     # still provably sparse (early iterations of unit seeds); lets the
     # next iterate come from a gather instead of a full SpMM.  While it is
@@ -380,7 +414,18 @@ def cpi_many(
                     )
                 sparse_iterate = None
                 if spare is None or spare is scores:
-                    spare = np.empty_like(x)
+                    if workspace is not None:
+                        spare = workspace.request(
+                            f"cpi.iterate.{spare_slot}", x.shape, x.dtype
+                        )
+                        spare_slot = 1 - spare_slot
+                        if spare is x:  # pragma: no cover - defensive
+                            spare = workspace.request(
+                                f"cpi.iterate.{spare_slot}", x.shape, x.dtype
+                            )
+                            spare_slot = 1 - spare_slot
+                    else:
+                        spare = np.empty_like(x)
                 y = graph.propagate_decayed(x, decay, out=spare)
                 # Recycle the previous interim matrix as the next output
                 # buffer (unless it doubles as the accumulator).
@@ -585,22 +630,33 @@ class CPIMethod(PPRMethod):
         _validate(c, tol, 0)
         self.c = float(c)
         self.tol = float(tol)
+        # Iterate buffers retained between queries (and counted in
+        # preprocessed_bytes — they are resident serving state).
+        self._workspace = Workspace()
 
     def _preprocess(self, graph: Graph) -> None:
         pass  # online-only: CPI needs nothing beyond the graph itself.
 
     def preprocessed_bytes(self) -> int:
-        return 0
+        """CPI keeps no index — only the iterate buffers retained by the
+        online phase (zero until the first query)."""
+        return self._workspace.nbytes()
 
     def error_bound(self) -> float:
         """CPI runs the series to ``tol``; the unaccumulated tail is below it."""
         return self.tol
 
     def _query(self, seed: int) -> np.ndarray:
-        return cpi(self.graph, seeds=seed, c=self.c, tol=self.tol).scores
+        return cpi(
+            self.graph, seeds=seed, c=self.c, tol=self.tol,
+            workspace=self._workspace,
+        ).scores
 
     def _query_many(self, seeds: np.ndarray) -> np.ndarray:
-        return cpi_many(self.graph, seeds, c=self.c, tol=self.tol).scores
+        return cpi_many(
+            self.graph, seeds, c=self.c, tol=self.tol,
+            workspace=self._workspace,
+        ).scores
 
 
 def cpi_parts(
@@ -611,6 +667,7 @@ def cpi_parts(
     c: float = 0.15,
     tol: float = 1e-9,
     max_iterations: int = _MAX_ITERATIONS_DEFAULT,
+    workspace: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Compute the family / neighbor / stranger parts in a single pass.
 
@@ -637,6 +694,13 @@ def cpi_parts(
     neighbor = np.zeros_like(x)
     stranger = np.zeros_like(x)
 
+    use_decayed = hasattr(graph, "propagate_decayed")
+    buffers = (
+        workspace.pair("cpi.parts", x.shape, x.dtype)
+        if workspace is not None and use_decayed
+        else None
+    )
+
     iteration = 0
     residual = float(np.abs(x).sum())
     while residual >= tol:
@@ -645,7 +709,11 @@ def cpi_parts(
                 f"cpi_parts did not converge within {max_iterations} iterations"
             )
         iteration += 1
-        x = (1.0 - c) * graph.propagate(x)
+        if use_decayed:
+            out = buffers[iteration % 2] if buffers is not None else None
+            x = graph.propagate_decayed(x, 1.0 - c, out=out)
+        else:
+            x = (1.0 - c) * graph.propagate(x)
         if iteration < s_iteration:
             family += x
         elif iteration < t_iteration:
@@ -671,6 +739,13 @@ def cpi_iterates(
     _validate(c, 1e-300, 0)
     x = c * seed_vector(graph, seeds)
     yield x.copy()
-    for _ in range(max_iterations):
-        x = (1.0 - c) * graph.propagate(x)
+    use_decayed = hasattr(graph, "propagate_decayed")
+    buffers = (x.copy(), np.empty_like(x)) if use_decayed else None
+    for index in range(max_iterations):
+        if use_decayed:
+            # The yielded copies decouple consumers from the two
+            # alternating iterate buffers reused here.
+            x = graph.propagate_decayed(x, 1.0 - c, out=buffers[index % 2])
+        else:
+            x = (1.0 - c) * graph.propagate(x)
         yield x.copy()

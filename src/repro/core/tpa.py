@@ -30,6 +30,7 @@ from repro.core.bounds import neighbor_scale, total_bound
 from repro.core.cpi import cpi, cpi_many
 from repro.exceptions import NotPreprocessedError, ParameterError
 from repro.graph.graph import Graph
+from repro.kernels import Workspace
 from repro.method import PPRMethod
 
 __all__ = ["TPA", "TPAParts"]
@@ -116,6 +117,11 @@ class TPA(PPRMethod):
         self.tol = float(tol)
         self._stranger: np.ndarray | None = None
         self._scale = neighbor_scale(self.c, self.s_iteration, self.t_iteration)
+        # Online-phase iterate buffers, retained between queries and
+        # counted in preprocessed_bytes.  Preprocessing (Algorithm 2) runs
+        # once and uses throwaway buffers so the post-preprocess footprint
+        # stays exactly one stranger vector.
+        self._workspace = Workspace()
 
     # -- Algorithm 2: preprocessing phase ---------------------------------------
 
@@ -138,11 +144,13 @@ class TPA(PPRMethod):
         return self._stranger
 
     def preprocessed_bytes(self) -> int:
-        """Size of the stranger vector — TPA's entire preprocessed state
-        (``8n`` bytes), the smallest of any method in Figure 1(a)."""
+        """Resident bytes the online phase depends on: the stranger vector
+        (``8n`` — TPA's entire index, the smallest of any method in
+        Figure 1(a)) plus the iterate buffers the online phase retains
+        between queries (zero until the first query runs)."""
         if self._stranger is None:
             return 0
-        return int(self._stranger.nbytes)
+        return int(self._stranger.nbytes) + self._workspace.nbytes()
 
     # -- Algorithm 3: online phase -----------------------------------------------
 
@@ -156,6 +164,7 @@ class TPA(PPRMethod):
             tol=self.tol,
             start_iteration=0,
             terminal_iteration=self.s_iteration - 1,
+            workspace=self._workspace,
         ).scores
         neighbor = self._scale * family
         return TPAParts(family=family, neighbor=neighbor, stranger=stranger)
@@ -181,6 +190,7 @@ class TPA(PPRMethod):
             tol=self.tol,
             start_iteration=0,
             terminal_iteration=self.s_iteration - 1,
+            workspace=self._workspace,
         ).scores.T  # back to the (n, B) iteration layout: contiguous passes
         # (scale·family + family) + stranger — float addition commutes, so
         # this matches the single-seed family + neighbor + stranger bit for
@@ -208,6 +218,7 @@ class TPA(PPRMethod):
             tol=self.tol,
             start_iteration=0,
             terminal_iteration=self.s_iteration - 1,
+            workspace=self._workspace,
         ).scores
         return family + self._scale * family + stranger
 

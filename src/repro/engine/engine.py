@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.method import PPRMethod, banned_mask, select_top_k
@@ -111,7 +112,19 @@ class Engine:
         bound to one.
     cache_size:
         Capacity (in seeds) of the optional LRU score-vector cache; ``0``
-        (default) disables caching.  Cached vectors are stored read-only.
+        (default) disables caching.  Cached vectors are stored read-only
+        and keyed by ``(seed, backend, compute dtype)`` — switching the
+        kernel backend or the float32 policy mid-serve can never replay a
+        vector computed under the previous numeric configuration.
+    reorder:
+        ``"slashburn"`` relabels the graph into SlashBurn hub/spoke order
+        before preprocessing (:func:`repro.kernels.locality_reordering`),
+        which clusters each CSR row's column gathers and makes the
+        blocked ``(n, B)`` SpMM of the online phase cache friendly.  The
+        engine translates seeds and results at the boundary, so callers
+        keep using original node ids throughout.  Requires ``graph`` (an
+        already-preprocessed method is bound to its node ordering).
+        ``None`` (default) serves in the input ordering.
 
     Examples
     --------
@@ -128,25 +141,43 @@ class Engine:
         method: PPRMethod,
         graph: Graph | None = None,
         cache_size: int = 0,
+        reorder: str | None = None,
     ):
         if cache_size < 0:
             raise ParameterError("cache_size must be non-negative")
-        if graph is None:
+        if reorder not in (None, "slashburn"):
+            raise ParameterError(
+                f"unknown reorder strategy {reorder!r}; "
+                "choose 'slashburn' or None"
+            )
+        self._reordering: kernels.LocalityReordering | None = None
+        if reorder is not None:
+            if graph is None:
+                raise ParameterError(
+                    "reorder requires the graph (a preprocessed method is "
+                    "already bound to its node ordering)"
+                )
+            self._reordering = kernels.locality_reordering(graph)
+        self._original_graph = graph
+        serving_graph = (
+            self._reordering.graph if self._reordering is not None else graph
+        )
+        if serving_graph is None:
             if not method.is_preprocessed:
                 raise ParameterError(
                     "Engine needs a graph to preprocess for, or an "
                     "already-preprocessed method"
                 )
             self._preprocess_seconds = 0.0
-        elif method.is_preprocessed and method.graph is graph:
+        elif method.is_preprocessed and method.graph is serving_graph:
             self._preprocess_seconds = 0.0
         else:
             begin = time.perf_counter()
-            method.preprocess(graph)
+            method.preprocess(serving_graph)
             self._preprocess_seconds = time.perf_counter() - begin
         self._method = method
         self._cache_size = int(cache_size)
-        self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._cache: OrderedDict[tuple[int, str], np.ndarray] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._queries_served = 0
@@ -161,8 +192,17 @@ class Engine:
 
     @property
     def graph(self) -> Graph:
-        """The graph the engine serves queries against."""
+        """The graph in the caller's node-id space (the original graph
+        when a locality reordering is active — all request seeds and
+        result ids are expressed in it)."""
+        if self._original_graph is not None:
+            return self._original_graph
         return self._method.graph
+
+    @property
+    def reordering(self) -> "kernels.LocalityReordering | None":
+        """The active SlashBurn locality reordering, if any."""
+        return self._reordering
 
     @property
     def preprocess_seconds(self) -> float:
@@ -241,13 +281,22 @@ class Engine:
 
         per_query_seconds = 0.0
         if fresh:
+            query_seeds = np.asarray(fresh, dtype=np.int64)
+            if self._reordering is not None:
+                query_seeds = self._reordering.to_reordered[query_seeds]
             begin = time.perf_counter()
-            matrix = self._method.query_many(np.asarray(fresh, dtype=np.int64))
+            matrix = self._method.query_many(query_seeds)
             elapsed = time.perf_counter() - begin
             per_query_seconds = elapsed / len(fresh)
             self._online_seconds += elapsed
             for row, seed in enumerate(fresh):
-                vector = np.ascontiguousarray(matrix[row])
+                vector = matrix[row]
+                if self._reordering is not None:
+                    # Back to the caller's node ids: everything below
+                    # (cache, exclusion masks, rankings) runs in the
+                    # original space.
+                    vector = self._reordering.scores_to_original(vector)
+                vector = np.ascontiguousarray(vector)
                 if self._cache_size:
                     vector.setflags(write=False)
                     self._cache_put(seed, vector)
@@ -299,28 +348,40 @@ class Engine:
         ``-1`` when exclusions leave fewer than ``k`` nodes).  This is the
         paper's Who-to-Follow shape: millions of users, top-500 each.
         """
+        seeds_arr = self._method.validate_seeds(seeds)
+        if self._reordering is not None:
+            seeds_arr = self._reordering.to_reordered[seeds_arr]
         begin = time.perf_counter()
         rankings = self._method.top_k_many(
-            seeds, k, exclude_seeds=exclude_seeds,
+            seeds_arr, k, exclude_seeds=exclude_seeds,
             exclude_neighbors=exclude_neighbors,
         )
         self._online_seconds += time.perf_counter() - begin
+        if self._reordering is not None:
+            rankings = self._reordering.ids_to_original(rankings)
         self._queries_served += rankings.shape[0]
         return rankings
 
     # -- LRU cache -------------------------------------------------------------
+    #
+    # Keys are (seed, kernels.cache_token()): the token names the active
+    # backend and compute dtype, so a float32 run can never be answered
+    # from a cached float64 vector (or vice versa), and entries computed
+    # under a different backend never masquerade as the current one's.
 
     def _cache_get(self, seed: int) -> np.ndarray | None:
         if not self._cache_size:
             return None
-        vector = self._cache.get(seed)
+        key = (seed, kernels.cache_token())
+        vector = self._cache.get(key)
         if vector is not None:
-            self._cache.move_to_end(seed)
+            self._cache.move_to_end(key)
         return vector
 
     def _cache_put(self, seed: int, vector: np.ndarray) -> None:
-        self._cache[seed] = vector
-        self._cache.move_to_end(seed)
+        key = (seed, kernels.cache_token())
+        self._cache[key] = vector
+        self._cache.move_to_end(key)
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
 

@@ -16,15 +16,8 @@ from typing import Iterable, Literal, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro import kernels
 from repro.exceptions import DanglingNodeError, GraphFormatError
-
-try:  # pragma: no cover - import guard
-    # Private but long-stable scipy kernel; lets hot loops reuse output
-    # buffers instead of allocating (and page-faulting) a fresh matrix per
-    # SpMM.  Falls back to the public operator when unavailable.
-    from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
-except ImportError:  # pragma: no cover - older/newer scipy layouts
-    _csr_matvecs = None
 
 DanglingPolicy = Literal["error", "selfloop", "uniform"]
 
@@ -172,7 +165,11 @@ class Graph:
         transition = (scale @ adjacency).tocsr()
         self._transition = transition
         self._transition_t = transition.T.tocsr()
-        self._decayed_cache: dict[float, sp.csr_array] = {}
+        # Pre-scaled / pre-cast copies of Ã^T, keyed by (decay, dtype name);
+        # decay None is the plain operator in a non-default dtype.  Index
+        # arrays are shared with the base operator — each entry costs one
+        # data-array copy.
+        self._operator_cache: dict[tuple[float | None, str], sp.csr_array] = {}
 
     # -- basic properties ------------------------------------------------------
 
@@ -249,9 +246,14 @@ class Graph:
 
         This is the single SpMV/SpMM at the heart of every CPI iteration
         (Algorithm 1, line 4 — without the ``1-c`` decay, which the callers
-        apply so the operator itself stays exactly stochastic).
+        apply so the operator itself stays exactly stochastic).  The
+        product runs on the active :mod:`repro.kernels` backend; the
+        NumPy fallback is bitwise identical to ``Ã^T @ x``.  A float32
+        operand is multiplied against a cached float32 cast of the
+        operator, keeping the whole product in single precision.
         """
-        y = self._transition_t @ x
+        operator = self._operator_for(None, x.dtype)
+        y = kernels.spmv(operator, x) if x.ndim == 1 else kernels.spmm(operator, x)
         if self._dangling.size and self._dangling_policy == "uniform":
             # Per-column leaked mass; a scalar for 1-D input, a length-B
             # row for matrix input (broadcast over every node).
@@ -260,21 +262,47 @@ class Graph:
                 y += leaked / self._n
         return y
 
-    def decayed_operator(self, decay: float) -> sp.csr_array:
-        """The cached pre-scaled operator ``decay · Ã^T`` in CSR form.
+    def _operator_for(self, decay: float | None, dtype) -> sp.csr_array:
+        """``Ã^T``, optionally pre-scaled by ``decay`` and cast to ``dtype``.
 
-        The value array is scaled once and cached per decay factor; the
-        index structure is shared with :attr:`transition_transpose`, so an
-        extra decay costs only one data-array copy.
+        The base float64 un-decayed operator is returned as-is; every
+        other combination is built once and cached (index arrays shared,
+        one data-array copy each).
         """
-        operator = self._decayed_cache.get(decay)
+        dtype = np.dtype(dtype)
+        if dtype not in (np.float32, np.float64):
+            dtype = np.dtype(np.float64)
+        if decay is None and dtype == np.float64:
+            return self._transition_t
+        key = (decay, dtype.name)
+        operator = self._operator_cache.get(key)
         if operator is None:
             base = self._transition_t
+            data = base.data if decay is None else base.data * decay
             operator = sp.csr_array(
-                (base.data * decay, base.indices, base.indptr), shape=base.shape
+                (data.astype(dtype, copy=data is base.data),
+                 base.indices, base.indptr),
+                shape=base.shape,
             )
-            self._decayed_cache[decay] = operator
+            self._operator_cache[key] = operator
         return operator
+
+    def decayed_operator(self, decay: float, dtype=np.float64) -> sp.csr_array:
+        """The cached pre-scaled operator ``decay · Ã^T`` in CSR form.
+
+        The value array is scaled once (scaled-then-cast for float32) and
+        cached per ``(decay, dtype)``; the index structure is shared with
+        :attr:`transition_transpose`, so an extra entry costs only one
+        data-array copy.
+        """
+        return self._operator_for(decay, dtype)
+
+    def operator_cache_nbytes(self) -> int:
+        """Bytes held by the cached pre-scaled/pre-cast operator copies
+        (data arrays only — index arrays are shared with the base)."""
+        return int(
+            sum(op.data.nbytes for op in self._operator_cache.values())
+        )
 
     def propagate_decayed(
         self, x: np.ndarray, decay: float, out: np.ndarray | None = None
@@ -289,30 +317,23 @@ class Graph:
         their floating-point operations, and therefore their results,
         identical.
 
-        ``out`` optionally supplies a preallocated ``(n, B)`` result buffer
-        for matrix input; reusing one across iterations avoids the
-        allocation and page-fault churn of a fresh multi-megabyte matrix
-        per step.  The returned array is the result either way (it is
-        ``out`` only when the fast path ran).
+        ``out`` optionally supplies a preallocated result buffer matching
+        ``x`` in shape and dtype (a vector for SpMV, an ``(n, B)`` matrix
+        for SpMM); reusing one across iterations avoids the allocation
+        and page-fault churn of a fresh buffer per step.  The returned
+        array is the result either way (it is ``out`` only when the
+        buffer was usable).
         """
-        operator = self.decayed_operator(decay)
-        if (
-            out is not None
-            and _csr_matvecs is not None
-            and x.ndim == 2
-            and x.flags.c_contiguous
-            and out.flags.c_contiguous
-            and out.shape == x.shape
+        operator = self._operator_for(decay, x.dtype)
+        if out is not None and (
+            out.shape != x.shape
+            or out.dtype != operator.data.dtype
+            or not out.flags.c_contiguous
+            or out is x
         ):
-            out.fill(0.0)  # the kernel accumulates into its output
-            _csr_matvecs(
-                self._n, self._n, x.shape[1],
-                operator.indptr, operator.indices, operator.data,
-                x.ravel(), out.ravel(),
-            )
-            y = out
-        else:
-            y = operator @ x
+            out = None  # unusable buffer: fall back to allocating
+        kernel = kernels.spmv if x.ndim == 1 else kernels.spmm
+        y = kernel(operator, x, out=out)
         if self._dangling.size and self._dangling_policy == "uniform":
             leaked = x[self._dangling].sum(axis=0)
             if np.any(leaked != 0.0):

@@ -1,0 +1,192 @@
+"""Numba-JIT, thread-parallel implementation of the CSR kernels.
+
+Row-parallel SpMV/SpMM: CSR rows partition the output, so ``prange`` over
+rows needs no atomics and no reduction — each thread owns a disjoint slice
+of ``out``.  Within a row, nonzeros accumulate in stored index order,
+which is the same order SciPy's ``csr_matvec(s)`` kernels use; for float64
+operands the two backends therefore agree to the last ulp in practice (the
+test suite asserts ≤ 1e-12, the contract we document).
+
+The skewed degree distributions of real random-walk graphs make static
+row-blocking lopsided (one hub row can hold 1% of all nonzeros), so the
+kernels run under Numba's default dynamic ``prange`` scheduling rather
+than a hand-rolled row partition.  Pair with the SlashBurn locality
+reordering (:mod:`repro.kernels.reorder`) to keep each thread's column
+accesses cache-resident for the blocked SpMM.
+
+This module is imported lazily by :mod:`repro.kernels.backend` only when
+the ``numba`` backend is active, so environments without Numba never pay
+(or fail) the import.  Kernels compile on first call per dtype signature;
+``cache=True`` persists the machine code next to the package for
+subsequent processes.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+from numba import njit, prange
+
+name = "numba"
+
+num_threads = int(numba.get_num_threads())
+
+
+@njit(parallel=True, nogil=True, cache=True)
+def _spmv(indptr, indices, data, x, out):  # pragma: no cover - JIT
+    # Accumulate through out[i] so every partial sum rounds in the output
+    # dtype — exactly what SciPy's csr_matvec and _spmm below do.  A
+    # float64 register accumulator would round only once, which under the
+    # float32 policy would break the bitwise single-vs-batch equivalence
+    # (spmv feeds single-seed queries, spmm the batched ones).
+    for i in prange(out.shape[0]):
+        out[i] = 0.0
+        for j in range(indptr[i], indptr[i + 1]):
+            out[i] += data[j] * x[indices[j]]
+
+
+@njit(parallel=True, nogil=True, cache=True)
+def _spmm(indptr, indices, data, x, out):  # pragma: no cover - JIT
+    width = x.shape[1]
+    for i in prange(out.shape[0]):
+        for k in range(width):
+            out[i, k] = 0.0
+        for j in range(indptr[i], indptr[i + 1]):
+            value = data[j]
+            column = indices[j]
+            for k in range(width):
+                out[i, k] += value * x[column, k]
+
+
+def spmv(matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out <- matrix @ x`` for CSR ``matrix`` and a 1-D operand."""
+    _spmv(matrix.indptr, matrix.indices, matrix.data, x, out)
+    return out
+
+
+def spmm(matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out <- matrix @ x`` for CSR ``matrix`` and a C-contiguous
+    ``(n, B)`` operand."""
+    _spmm(matrix.indptr, matrix.indices, matrix.data, x, out)
+    return out
+
+
+# -- local push loops ----------------------------------------------------------
+#
+# Forward/backward push are queue-driven scalar loops — Python-interpreter
+# bound, not memory bound.  The JIT versions below mirror the reference
+# implementations in repro.baselines operation for operation (same FIFO
+# discipline, same in-queue dedup, same two-pass add-then-enqueue order),
+# so their floating-point results are identical; only the interpreter
+# overhead disappears.  They return the push count, or -1 when max_pushes
+# was exceeded (the caller raises, matching the reference behavior).
+
+
+@njit(nogil=True, cache=True)
+def _forward_push(indptr, indices, threshold, c, seed, max_pushes,
+                  estimate, residual):  # pragma: no cover - JIT
+    n = indptr.shape[0] - 1
+    queue = np.empty(n, np.int64)
+    in_queue = np.zeros(n, np.uint8)
+    # Ring buffer seeded with one element: reads start at 0, the next
+    # write goes to 1 mod n (tail is always (head + count) mod n).
+    head = 0
+    tail = 1 % n
+    count = 1
+    queue[0] = seed
+    in_queue[seed] = 1
+    pushes = 0
+    while count > 0:
+        node = queue[head]
+        head += 1
+        if head == n:
+            head = 0
+        count -= 1
+        in_queue[node] = 0
+        mass = residual[node]
+        if mass <= threshold[node]:
+            continue
+        pushes += 1
+        if pushes > max_pushes:
+            return -1
+        estimate[node] += c * mass
+        residual[node] = 0.0
+        lo = indptr[node]
+        hi = indptr[node + 1]
+        degree = hi - lo
+        if degree == 0:
+            # Dangling node: absorb the remaining mass locally, exactly as
+            # the reference implementation does.
+            estimate[node] += (1.0 - c) * mass
+            continue
+        share = (1.0 - c) * mass / degree
+        for j in range(lo, hi):
+            residual[indices[j]] += share
+        for j in range(lo, hi):
+            target = indices[j]
+            if residual[target] > threshold[target] and in_queue[target] == 0:
+                queue[tail] = target
+                tail += 1
+                if tail == n:
+                    tail = 0
+                count += 1
+                in_queue[target] = 1
+    return pushes
+
+
+@njit(nogil=True, cache=True)
+def _backward_push(indptr, indices, weights, rmax, c, target, max_pushes,
+                   estimate, residual):  # pragma: no cover - JIT
+    n = indptr.shape[0] - 1
+    queue = np.empty(n, np.int64)
+    in_queue = np.zeros(n, np.uint8)
+    # Same ring-buffer discipline as _forward_push: tail = (head + count).
+    head = 0
+    tail = 1 % n
+    count = 1
+    queue[0] = target
+    in_queue[target] = 1
+    pushes = 0
+    while count > 0:
+        node = queue[head]
+        head += 1
+        if head == n:
+            head = 0
+        count -= 1
+        in_queue[node] = 0
+        mass = residual[node]
+        if mass <= rmax:
+            continue
+        pushes += 1
+        if pushes > max_pushes:
+            return -1
+        estimate[node] += c * mass
+        residual[node] = 0.0
+        lo = indptr[node]
+        hi = indptr[node + 1]
+        for j in range(lo, hi):
+            residual[indices[j]] += (1.0 - c) * mass * weights[j]
+        for j in range(lo, hi):
+            source = indices[j]
+            if residual[source] > rmax and in_queue[source] == 0:
+                queue[tail] = source
+                tail += 1
+                if tail == n:
+                    tail = 0
+                count += 1
+                in_queue[source] = 1
+    return pushes
+
+
+def forward_push_loop(indptr, indices, threshold, c, seed, max_pushes,
+                      estimate, residual) -> int:
+    return int(_forward_push(indptr, indices, threshold, float(c),
+                             np.int64(seed), np.int64(max_pushes),
+                             estimate, residual))
+
+
+def backward_push_loop(indptr, indices, weights, rmax, c, target, max_pushes,
+                       estimate, residual) -> int:
+    return int(_backward_push(indptr, indices, weights, float(rmax), float(c),
+                              np.int64(target), np.int64(max_pushes),
+                              estimate, residual))

@@ -1,0 +1,67 @@
+"""Pure NumPy/SciPy implementation of the CSR kernels.
+
+This backend IS the pre-kernel-layer code path: SciPy's C kernels
+``csr_matvec`` / ``csr_matvecs`` are exactly what ``csr_array @ x``
+dispatches to, so routing a hot loop through here changes *nothing* about
+its floating-point operations — results are bitwise identical to the
+original ``operator @ x`` expressions (the equivalence the test suite
+asserts).  Calling the private kernels directly buys one thing ``@``
+cannot offer: accumulation into a caller-supplied output buffer, so
+iterate loops stop allocating a fresh multi-megabyte matrix per step.
+
+When the private ``scipy.sparse._sparsetools`` layout ever changes, the
+public operator is used instead (identical numerics, one extra
+allocation when no ``out`` is supplied — and one copy when it is).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - import guard
+    from scipy.sparse._sparsetools import csr_matvec as _csr_matvec
+    from scipy.sparse._sparsetools import csr_matvecs as _csr_matvecs
+except ImportError:  # pragma: no cover - older/newer scipy layouts
+    _csr_matvec = None
+    _csr_matvecs = None
+
+name = "numpy"
+
+#: Rough concurrency of the backend (the NumPy fallback is single-threaded).
+num_threads = 1
+
+
+def spmv(matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out <- matrix @ x`` for CSR ``matrix`` and a 1-D operand."""
+    if _csr_matvec is None:
+        np.copyto(out, matrix @ x)
+        return out
+    out.fill(0.0)  # the scipy kernel accumulates into its output
+    n_row, n_col = matrix.shape
+    _csr_matvec(
+        n_row, n_col, matrix.indptr, matrix.indices, matrix.data, x, out
+    )
+    return out
+
+
+def spmm(matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out <- matrix @ x`` for CSR ``matrix`` and a C-contiguous
+    ``(n, B)`` operand."""
+    if _csr_matvecs is None:
+        np.copyto(out, matrix @ x)
+        return out
+    out.fill(0.0)
+    n_row, n_col = matrix.shape
+    _csr_matvecs(
+        n_row, n_col, x.shape[1],
+        matrix.indptr, matrix.indices, matrix.data,
+        x.ravel(), out.ravel(),
+    )
+    return out
+
+
+#: The queue-based push loops have no NumPy vectorization; the reference
+#: Python implementations in ``repro.baselines.forward_push`` /
+#: ``backward_push`` are this backend's implementation, signalled by None.
+forward_push_loop = None
+backward_push_loop = None

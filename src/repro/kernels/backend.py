@@ -1,0 +1,198 @@
+"""Backend selection and compute-dtype policy for the sparse-kernel layer.
+
+The kernel layer offers two implementations of the CSR primitives:
+
+``"numba"``
+    JIT-compiled, ``prange``-parallel kernels (:mod:`._numba_backend`).
+    Auto-selected at import when Numba is installed.
+``"numpy"``
+    A pure NumPy/SciPy fallback (:mod:`._numpy_backend`) that is *bitwise
+    identical* to ``csr_array @ x`` — the code path every hot loop used
+    before the kernel layer existed.
+
+Selection happens once at import (``REPRO_KERNEL=numba|numpy`` overrides
+the auto-detection) and can be changed at runtime with :func:`set_backend`.
+Detection uses ``importlib.util.find_spec`` so importing this module stays
+cheap; the Numba module itself is only imported — and its kernels only
+compiled — on first use.
+
+The *compute dtype* policy lives here too: ``float64`` (default, exact) or
+the opt-in ``float32`` (``REPRO_KERNEL_DTYPE=float32`` or
+:func:`set_compute_dtype`).  See :mod:`repro.kernels` for the documented
+error impact.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+import warnings
+from types import ModuleType
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "numba_available",
+    "compute_dtype",
+    "set_compute_dtype",
+    "cache_token",
+]
+
+_BACKEND_NAMES = ("numba", "numpy")
+
+#: Detected once at import; tests monkeypatch this to simulate a missing
+#: Numba installation (the forced-fallback path).
+_NUMBA_INSTALLED = importlib.util.find_spec("numba") is not None
+
+_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+
+def numba_available() -> bool:
+    """Whether the Numba backend can be activated in this environment."""
+    return _NUMBA_INSTALLED
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable in this environment, preferred first."""
+    if _NUMBA_INSTALLED:
+        return ("numba", "numpy")
+    return ("numpy",)
+
+
+def _auto_backend() -> str:
+    return "numba" if _NUMBA_INSTALLED else "numpy"
+
+
+def _resolve_env_backend() -> str:
+    requested = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    if not requested or requested == "auto":
+        return _auto_backend()
+    if requested not in _BACKEND_NAMES:
+        warnings.warn(
+            f"REPRO_KERNEL={requested!r} is not one of {_BACKEND_NAMES}; "
+            "falling back to auto-selection",
+            stacklevel=2,
+        )
+        return _auto_backend()
+    if requested == "numba" and not _NUMBA_INSTALLED:
+        warnings.warn(
+            "REPRO_KERNEL=numba requested but Numba is not importable; "
+            "using the NumPy fallback",
+            stacklevel=2,
+        )
+        return "numpy"
+    return requested
+
+
+_active_backend: str = _resolve_env_backend()
+
+
+def _resolve_env_dtype() -> type:
+    requested = os.environ.get("REPRO_KERNEL_DTYPE", "").strip().lower()
+    if not requested:
+        return np.float64
+    if requested not in _DTYPES:
+        warnings.warn(
+            f"REPRO_KERNEL_DTYPE={requested!r} is not one of "
+            f"{tuple(_DTYPES)}; keeping float64",
+            stacklevel=2,
+        )
+        return np.float64
+    return _DTYPES[requested]
+
+
+_compute_dtype: type = _resolve_env_dtype()
+
+
+def get_backend() -> str:
+    """Name of the active backend (``"numba"`` or ``"numpy"``)."""
+    return _active_backend
+
+
+def set_backend(name: str | None) -> str:
+    """Select the kernel backend; returns the previously active name.
+
+    ``name`` may be ``"numba"``, ``"numpy"``, or ``"auto"``/``None`` to
+    re-run the import-time selection (``REPRO_KERNEL`` included, so a
+    forced-fallback environment stays forced).  Requesting ``"numba"``
+    when Numba is not importable raises
+    :class:`~repro.exceptions.ParameterError` (unlike the env-var route,
+    which warns and falls back — an explicit API call deserves a hard
+    error).
+    """
+    global _active_backend
+    previous = _active_backend
+    if name is None or name == "auto":
+        _active_backend = _resolve_env_backend()
+        return previous
+    if name not in _BACKEND_NAMES:
+        raise ParameterError(
+            f"unknown kernel backend {name!r}; choose from {_BACKEND_NAMES}"
+        )
+    if name == "numba" and not _NUMBA_INSTALLED:
+        raise ParameterError(
+            "the numba backend was requested but Numba is not installed; "
+            "use the 'numpy' fallback or install numba"
+        )
+    _active_backend = name
+    return previous
+
+
+def compute_dtype() -> type:
+    """The dtype iterate loops allocate and accumulate in
+    (``numpy.float64`` unless the float32 policy was opted into)."""
+    return _compute_dtype
+
+
+def set_compute_dtype(dtype: str | type | np.dtype) -> type:
+    """Set the compute dtype policy; returns the previous dtype.
+
+    Accepts ``"float32"`` / ``"float64"`` or the NumPy dtypes themselves.
+    ``float32`` halves iterate-buffer traffic at a documented accuracy
+    cost (see the :mod:`repro.kernels` package docstring); callers that
+    cache results keyed by numeric configuration must include
+    :func:`cache_token` in their keys.
+    """
+    global _compute_dtype
+    key = np.dtype(dtype).name
+    if key not in _DTYPES:
+        raise ParameterError(
+            f"compute dtype must be float32 or float64, got {key!r}"
+        )
+    previous = _compute_dtype
+    _compute_dtype = _DTYPES[key]
+    return previous
+
+
+def cache_token() -> str:
+    """Opaque token identifying the numeric configuration of results.
+
+    Two runs with equal tokens compute with the same backend and dtype,
+    so their score vectors are interchangeable; score caches (e.g. the
+    :class:`~repro.engine.Engine` LRU) must key on this so a float32 run
+    never serves cached float64 vectors (or vice versa).
+    """
+    return f"{_active_backend}:{np.dtype(_compute_dtype).name}"
+
+
+_numba_module: ModuleType | None = None
+
+
+def _backend_module() -> ModuleType:
+    """The implementation module of the active backend (lazy import)."""
+    global _numba_module
+    if _active_backend == "numba":
+        if _numba_module is None:
+            _numba_module = importlib.import_module(
+                "repro.kernels._numba_backend"
+            )
+        return _numba_module
+    from repro.kernels import _numpy_backend
+
+    return _numpy_backend

@@ -1,0 +1,73 @@
+"""Reusable output buffers for iterate loops.
+
+Every CPI/TPA iteration writes one dense iterate the size of the operand —
+``(n,)`` for a single query, ``(n, B)`` for a batch.  Allocating that
+buffer per step costs page faults and memory-bandwidth churn that can
+rival the SpMM itself on large graphs, so methods keep a
+:class:`Workspace` and draw named buffers from it: the first request
+allocates, subsequent requests with the same name and shape reuse.
+
+Buffers are *retained* between queries (that is the point), which makes
+them part of a method's resident footprint —
+:meth:`~repro.method.PPRMethod.preprocessed_bytes` implementations add
+:meth:`Workspace.nbytes` so the serving-memory figures stay honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A pool of named, shape-keyed scratch arrays.
+
+    Each name holds at most one buffer; requesting a different shape or
+    dtype under the same name drops the old buffer and allocates anew (a
+    batch-size change should not leak the previous batch's buffers).
+    Contents are never zeroed here — callers own initialization.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def request(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: type | np.dtype = np.float64,
+    ) -> np.ndarray:
+        """Return the buffer registered under ``name``, (re)allocating
+        when the requested shape or dtype differs from the retained one."""
+        dtype = np.dtype(dtype)
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer
+
+    def pair(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: type | np.dtype = np.float64,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Two same-shaped buffers for ping-pong iterate loops."""
+        return (
+            self.request(f"{name}.0", shape, dtype),
+            self.request(f"{name}.1", shape, dtype),
+        )
+
+    def nbytes(self) -> int:
+        """Total bytes of all retained buffers."""
+        return int(sum(buffer.nbytes for buffer in self._buffers.values()))
+
+    def clear(self) -> None:
+        """Drop every retained buffer."""
+        self._buffers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Workspace(buffers={len(self._buffers)}, nbytes={self.nbytes()})"
