@@ -11,12 +11,19 @@ appends a single JSON object — one line per run — to
     python benchmarks/record.py --nodes 50000 --batch 128
     REPRO_KERNEL=numpy python benchmarks/record.py   # record the fallback
 
-Each entry carries the commit, backend, compute dtype, graph size, and
-wall-times, so the perf trajectory of the kernel layer is diffable
-across commits: filter to matching ``backend``/``graph`` fields and
-compare ``queries_per_second_batched`` (end to end) or
-``spmm_seconds``/``spmv_seconds`` (kernel level).  Timings are best-of-N
-wall clock — the min filters scheduler noise.
+Each entry carries the commit, backend, compute dtype, tile height,
+graph size, and wall-times, so the perf trajectory of the kernel layer
+is diffable across commits: filter to matching ``backend``/``graph``
+fields and compare ``queries_per_second_batched`` (end to end),
+``spmm_seconds``/``spmv_seconds`` (kernel level),
+``spmm_tiled_seconds`` vs ``spmm_reordered_seconds`` (the hub-aware
+tiled schedule against the untiled product on the same
+SlashBurn-reordered operator), or
+``topk_queries_per_second_fused`` vs
+``topk_queries_per_second_materialized`` (the streamed
+``Engine.serve`` ranking pipeline against scoring the whole batch and
+arg-partitioning row by row in Python).  Timings are best-of-N wall
+clock — the min filters scheduler noise.
 """
 
 from __future__ import annotations
@@ -37,9 +44,15 @@ import numpy as np  # noqa: E402
 
 from repro import kernels  # noqa: E402
 from repro.core.tpa import TPA  # noqa: E402
+from repro.engine import Engine  # noqa: E402
 from repro.graph.generators import community_graph  # noqa: E402
+from repro.method import banned_mask, select_top_k  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+
+#: Ranking width of the top-k throughput benchmark (the paper's serving
+#: example is Twitter's top-500; 100 keeps the default graph realistic).
+TOPK_K = 100
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -49,6 +62,22 @@ def _best_of(fn, repeats: int) -> float:
         fn()
         samples.append(time.perf_counter() - begin)
     return min(samples)
+
+
+def materialized_topk(method, seeds, k):
+    """The pre-streaming ranking path, kept as the benchmark baseline:
+    materialize the full ``(B, n)`` score matrix, then arg-partition row
+    by row in Python with a fresh mask per request.  The throughput test
+    in ``test_batch_throughput.py`` measures against this same helper,
+    so the recorded and asserted speedups share one definition."""
+    matrix = method.query_many(seeds)
+    return [
+        select_top_k(
+            matrix[row], k,
+            banned_mask(method.graph, int(seed), True, False),
+        )
+        for row, seed in enumerate(seeds)
+    ]
 
 
 def _commit() -> str:
@@ -85,6 +114,23 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         lambda: kernels.spmm(operator_cast, mat, out=mat_out), repeats
     )
 
+    # Tiled vs untiled on the SlashBurn-reordered operator: same rows,
+    # same arithmetic, different execution schedule.
+    reordering = kernels.locality_reordering(graph)
+    tiling = reordering.spmm_tiling()
+    operator_reordered = reordering.graph.decayed_operator(1.0, dtype=dtype)
+    kernels.spmm(operator_reordered, mat, out=mat_out)  # warm-up
+    kernels.spmm_tiled(operator_reordered, mat, out=mat_out, tiling=tiling)
+    spmm_reordered_seconds = _best_of(
+        lambda: kernels.spmm(operator_reordered, mat, out=mat_out), repeats
+    )
+    spmm_tiled_seconds = _best_of(
+        lambda: kernels.spmm_tiled(
+            operator_reordered, mat, out=mat_out, tiling=tiling
+        ),
+        repeats,
+    )
+
     method = TPA(s_iteration=5, t_iteration=10)
     begin = time.perf_counter()
     method.preprocess(graph)
@@ -96,6 +142,19 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
     looped_seconds = _best_of(
         lambda: [method.query(int(seed)) for seed in seeds],
         max(1, repeats // 3),
+    )
+
+    # Fused streamed top-k (Engine.serve: block loop + compiled
+    # select_top_k_many) against the materialize-then-argpartition path
+    # it replaced.  Both sides take the min over the same repeat count —
+    # a recorded ratio must not owe anything to sampling asymmetry.
+    topk = min(TOPK_K, graph.num_nodes - 1)
+    engine = Engine(method, stream_block=max(1, batch // 4))
+    engine.serve(seeds, k=topk)  # warm-up (JIT + retained buffers)
+    materialized_topk(method, seeds, topk)
+    fused_seconds = _best_of(lambda: engine.serve(seeds, k=topk), repeats)
+    materialized_seconds = _best_of(
+        lambda: materialized_topk(method, seeds, topk), repeats
     )
 
     return {
@@ -110,12 +169,23 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
             "avg_degree": avg_degree,
         },
         "batch": int(batch),
+        "tile_height": int(tiling.tile_height),
+        "num_hubs": int(reordering.num_hubs),
         "spmv_seconds": spmv_seconds,
         "spmm_seconds": spmm_seconds,
+        "spmm_reordered_seconds": spmm_reordered_seconds,
+        "spmm_tiled_seconds": spmm_tiled_seconds,
+        "tiled_over_untiled_speedup": spmm_reordered_seconds / spmm_tiled_seconds,
         "preprocess_seconds": preprocess_seconds,
         "queries_per_second_batched": batch / batched_seconds,
         "queries_per_second_looped": batch / looped_seconds,
         "batched_over_looped_speedup": looped_seconds / batched_seconds,
+        "topk_k": int(topk),
+        "topk_queries_per_second_fused": batch / fused_seconds,
+        "topk_queries_per_second_materialized": batch / materialized_seconds,
+        "fused_over_materialized_topk_speedup": (
+            materialized_seconds / fused_seconds
+        ),
     }
 
 
@@ -132,12 +202,18 @@ def main(argv: list[str] | None = None) -> int:
         help="kernel backend to measure (default: auto-selected)",
     )
     parser.add_argument(
+        "--tile", type=int, default=None,
+        help="spoke-tile height in rows (default: REPRO_KERNEL_TILE or auto)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT,
         help=f"JSON-lines file to append to (default {DEFAULT_OUTPUT})",
     )
     args = parser.parse_args(argv)
 
     kernels.set_backend(None if args.backend == "auto" else args.backend)
+    if args.tile is not None:
+        kernels.set_tile_rows(args.tile)
     entry = measure(args.nodes, args.avg_degree, args.batch, args.repeats)
 
     with open(args.output, "a", encoding="utf-8") as handle:

@@ -50,8 +50,13 @@ traffic for an L1 error below ``~1e-5`` on the bundled graphs (see the
 LRU cache keys on ``kernels.cache_token()``, so switching backend or
 dtype mid-serve never replays a stale vector.  ``Engine(...,
 reorder="slashburn")`` additionally relabels the graph into SlashBurn
-hub/spoke order for cache-friendly blocked SpMM, translating node ids at
-the API boundary.
+hub/spoke order and attaches a hub-aligned row tiling
+(``REPRO_KERNEL_TILE`` / :func:`repro.kernels.set_tile_rows`) so every
+blocked SpMM runs a cache-friendly tiled schedule, translating node ids
+at the API boundary.  Top-k serving streams in column blocks with the
+compiled :func:`repro.kernels.select_top_k_many` selection fused into
+the block loop — the full ``n x batch`` score matrix never
+materializes.
 
 The measured trajectory lives in ``BENCH_kernels.json`` (one JSON object
 per line; run ``python benchmarks/record.py`` to append): compare

@@ -34,7 +34,6 @@ from repro import kernels
 from repro.exceptions import MemoryBudgetExceeded, ParameterError
 from repro.graph.graph import Graph
 from repro.graph.partition import partition_graph
-from repro.kernels import Workspace
 from repro.method import PPRMethod
 
 __all__ = ["NBLin"]
@@ -92,9 +91,8 @@ class NBLin(PPRMethod):
         self._u: np.ndarray | None = None
         self._vt: np.ndarray | None = None
         self._lambda: np.ndarray | None = None
-        # Seed-matrix buffers retained between batched queries (counted in
-        # preprocessed_bytes).
-        self._workspace = Workspace()
+        # Seed-matrix buffers are drawn from the base class's retained
+        # workspace (counted in preprocessed_bytes).
 
     # -- preprocessing ------------------------------------------------------------
 

@@ -630,9 +630,9 @@ class CPIMethod(PPRMethod):
         _validate(c, tol, 0)
         self.c = float(c)
         self.tol = float(tol)
-        # Iterate buffers retained between queries (and counted in
-        # preprocessed_bytes — they are resident serving state).
-        self._workspace = Workspace()
+        # Iterate buffers are drawn from the base class's retained
+        # workspace (shared with the ranking masks) and counted in
+        # preprocessed_bytes — they are resident serving state.
 
     def _preprocess(self, graph: Graph) -> None:
         pass  # online-only: CPI needs nothing beyond the graph itself.

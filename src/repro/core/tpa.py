@@ -30,7 +30,6 @@ from repro.core.bounds import neighbor_scale, total_bound
 from repro.core.cpi import cpi, cpi_many
 from repro.exceptions import NotPreprocessedError, ParameterError
 from repro.graph.graph import Graph
-from repro.kernels import Workspace
 from repro.method import PPRMethod
 
 __all__ = ["TPA", "TPAParts"]
@@ -117,11 +116,11 @@ class TPA(PPRMethod):
         self.tol = float(tol)
         self._stranger: np.ndarray | None = None
         self._scale = neighbor_scale(self.c, self.s_iteration, self.t_iteration)
-        # Online-phase iterate buffers, retained between queries and
-        # counted in preprocessed_bytes.  Preprocessing (Algorithm 2) runs
-        # once and uses throwaway buffers so the post-preprocess footprint
-        # stays exactly one stranger vector.
-        self._workspace = Workspace()
+        # Online-phase iterate buffers come from the base class's
+        # retained workspace, counted in preprocessed_bytes.
+        # Preprocessing (Algorithm 2) runs once and uses throwaway
+        # buffers so the post-preprocess footprint stays exactly one
+        # stranger vector.
 
     # -- Algorithm 2: preprocessing phase ---------------------------------------
 

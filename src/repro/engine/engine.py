@@ -22,9 +22,15 @@ import numpy as np
 from repro import kernels
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
-from repro.method import PPRMethod, banned_mask, select_top_k
+from repro.kernels import select_top_k_many
+from repro.method import PPRMethod, banned_mask, banned_mask_many, select_top_k
 
 __all__ = ["QueryRequest", "QueryResult", "Engine"]
+
+#: Default column-block width of the streamed top-k path: batches larger
+#: than this are scored block by block with selection fused into the
+#: loop, so the full ``n x batch`` score matrix never materializes.
+_DEFAULT_STREAM_BLOCK = 128
 
 
 @dataclass(frozen=True)
@@ -120,11 +126,23 @@ class Engine:
         ``"slashburn"`` relabels the graph into SlashBurn hub/spoke order
         before preprocessing (:func:`repro.kernels.locality_reordering`),
         which clusters each CSR row's column gathers and makes the
-        blocked ``(n, B)`` SpMM of the online phase cache friendly.  The
-        engine translates seeds and results at the boundary, so callers
-        keep using original node ids throughout.  Requires ``graph`` (an
-        already-preprocessed method is bound to its node ordering).
-        ``None`` (default) serves in the input ordering.
+        blocked ``(n, B)`` SpMM of the online phase cache friendly.  A
+        hub-aligned row tiling is attached to the serving graph at the
+        same time (:meth:`~repro.kernels.LocalityReordering.spmm_tiling`,
+        tunable via ``REPRO_KERNEL_TILE`` /
+        :func:`repro.kernels.set_tile_rows`), so every batched iterate
+        runs the tiled SpMM schedule.  The engine translates seeds and
+        results at the boundary, so callers keep using original node ids
+        throughout.  Requires ``graph`` (an already-preprocessed method
+        is bound to its node ordering).  ``None`` (default) serves in the
+        input ordering.
+    stream_block:
+        Column-block width of the streamed top-k path (default 128).
+        :meth:`serve` always scores at most this many seeds at a time,
+        and :meth:`batch` switches to the same streamed schedule when a
+        cache-less batch of pure top-k requests has more distinct seeds
+        than one block — selection is fused into the block loop, so the
+        full ``n x batch`` score matrix never materializes.
 
     Examples
     --------
@@ -142,6 +160,7 @@ class Engine:
         graph: Graph | None = None,
         cache_size: int = 0,
         reorder: str | None = None,
+        stream_block: int | None = None,
     ):
         if cache_size < 0:
             raise ParameterError("cache_size must be non-negative")
@@ -150,6 +169,11 @@ class Engine:
                 f"unknown reorder strategy {reorder!r}; "
                 "choose 'slashburn' or None"
             )
+        if stream_block is None:
+            stream_block = _DEFAULT_STREAM_BLOCK
+        elif stream_block < 1:
+            raise ParameterError("stream_block must be at least 1")
+        self._stream_block = int(stream_block)
         self._reordering: kernels.LocalityReordering | None = None
         if reorder is not None:
             if graph is None:
@@ -162,6 +186,10 @@ class Engine:
         serving_graph = (
             self._reordering.graph if self._reordering is not None else graph
         )
+        if self._reordering is not None:
+            # Hub-aware tiled execution for every blocked product on the
+            # serving operator: the whole point of the SlashBurn order.
+            serving_graph.set_spmm_tiling(self._reordering.spmm_tiling())
         if serving_graph is None:
             if not method.is_preprocessed:
                 raise ParameterError(
@@ -182,6 +210,10 @@ class Engine:
         self._misses = 0
         self._queries_served = 0
         self._online_seconds = 0.0
+        # Retained serving scratch: per-request banned masks, masked-copy
+        # selection buffers, and the reorder gather of the streamed path
+        # all reuse these instead of allocating per request.
+        self._workspace = kernels.Workspace()
 
     # -- introspection ---------------------------------------------------------
 
@@ -250,6 +282,13 @@ class Engine:
         a single :meth:`~repro.method.PPRMethod.query_many` call (duplicate
         seeds and cache hits are answered from the same vectors).  Results
         come back in request order.
+
+        Large cache-less batches of pure top-k requests stream instead:
+        distinct seeds are scored ``stream_block`` at a time and each
+        block's rankings are extracted before the next block is computed,
+        so peak memory is one ``n x stream_block`` panel rather than the
+        full ``n x batch`` matrix.  Results are identical to the
+        materialized path.
         """
         requests = list(requests)
         if not requests:
@@ -260,6 +299,11 @@ class Engine:
             if request.k is not None and request.k < 1:
                 raise ParameterError("k must be at least 1")
         seeds = self._method.validate_seeds([r.seed for r in requests])
+
+        if self._cache_size == 0 and all(r.k is not None for r in requests):
+            distinct = np.unique(seeds)
+            if distinct.size > self._stream_block:
+                return self._batch_streamed(requests, seeds)
 
         # Distinct seeds that truly need the online phase, in first-seen
         # order; everything else is a cache or intra-batch duplicate hit.
@@ -322,16 +366,140 @@ class Engine:
             if request.k is None:
                 results.append(replace(base, scores=vector))
             else:
-                banned = banned_mask(
-                    self.graph, seed, request.exclude_seed,
-                    request.exclude_neighbors,
-                )
-                picks = select_top_k(vector, request.k, banned)
+                picks = self._rank(vector, seed, request)
                 results.append(
                     replace(base, top_nodes=picks, top_scores=vector[picks])
                 )
         self._queries_served += len(results)
         return results
+
+    def _rank(
+        self, vector: np.ndarray, seed: int, request: QueryRequest
+    ) -> np.ndarray:
+        """Top-k selection for one request, allocation-free on repeat:
+        the banned mask and the masked score copy live in the engine's
+        retained workspace instead of being rebuilt per call."""
+        n = self.graph.num_nodes
+        banned = None
+        if request.exclude_seed or request.exclude_neighbors:
+            banned = banned_mask(
+                self.graph, seed, request.exclude_seed,
+                request.exclude_neighbors,
+                out=self._workspace.request("rank.banned", (n,), np.bool_),
+            )
+        return select_top_k(
+            vector, request.k, banned,
+            scratch=self._workspace.request("rank.masked", (n,), np.float64),
+        )
+
+    def _batch_streamed(
+        self, requests: list[QueryRequest], seeds: np.ndarray
+    ) -> list[QueryResult]:
+        """The fused top-k schedule behind :meth:`batch`.
+
+        Distinct seeds are scored ``stream_block`` at a time; every block
+        row is ranked (and, under a reordering, translated back to
+        original ids) immediately, then the block is reused for the next
+        panel — the full score matrix never exists.  Result records match
+        the materialized path exactly: the first request of each distinct
+        seed carries its share of the block wall-time, duplicates are
+        flagged ``cached``.
+        """
+        requests_by_seed: dict[int, list[int]] = {}
+        order: list[int] = []
+        for index, seed in enumerate(seeds.tolist()):
+            if seed not in requests_by_seed:
+                requests_by_seed[seed] = []
+                order.append(seed)
+            requests_by_seed[seed].append(index)
+        self._misses += len(order)
+
+        # The serving shape — every request wants the same (k, exclusion)
+        # ranking — runs each block through one compiled
+        # select_top_k_many call; mixed batches rank per request (still
+        # streamed, just without the fused kernel).
+        shapes = {
+            (r.k, r.exclude_seed, r.exclude_neighbors) for r in requests
+        }
+        fused_shape = shapes.pop() if len(shapes) == 1 else None
+        bytes_resident = self._method.preprocessed_bytes()
+        bound = self.error_bound()
+        results: list[QueryResult | None] = [None] * len(requests)
+        block = self._stream_block
+        for start in range(0, len(order), block):
+            chunk = np.asarray(order[start : start + block], dtype=np.int64)
+            query_seeds = chunk
+            if self._reordering is not None:
+                query_seeds = self._reordering.to_reordered[chunk]
+            begin = time.perf_counter()
+            matrix = self._method.query_many(query_seeds)
+            elapsed = time.perf_counter() - begin
+            per_query_seconds = elapsed / chunk.size
+            self._online_seconds += elapsed
+            if self._reordering is not None:
+                # Back to the caller's id space in one gather (retained
+                # panel buffer; masks and rankings run in original ids).
+                panel = self._workspace.request(
+                    "stream.original", matrix.shape, matrix.dtype
+                )
+                np.take(matrix, self._reordering.to_reordered, axis=1,
+                        out=panel)
+                matrix = panel
+            picks_block = (
+                self._rank_block(matrix, chunk, *fused_shape)
+                if fused_shape is not None
+                else None
+            )
+            for row, seed in enumerate(chunk.tolist()):
+                vector = matrix[row]
+                for position, index in enumerate(requests_by_seed[seed]):
+                    request = requests[index]
+                    if picks_block is not None:
+                        padded = picks_block[row]
+                        picks = padded[padded >= 0]  # strips -1; copies
+                    else:
+                        picks = self._rank(vector, seed, request)
+                    results[index] = QueryResult(
+                        seed=seed,
+                        method=self._method.name,
+                        seconds=per_query_seconds if position == 0 else 0.0,
+                        preprocessed_bytes=bytes_resident,
+                        error_bound=bound,
+                        cached=position > 0,
+                        top_nodes=picks,
+                        top_scores=vector[picks],
+                    )
+        self._queries_served += len(requests)
+        return results
+
+    def _rank_block(
+        self,
+        matrix: np.ndarray,
+        chunk: np.ndarray,
+        k: int,
+        exclude_seed: bool,
+        exclude_neighbors: bool,
+    ) -> np.ndarray:
+        """Fused selection for one streamed block of a homogeneous batch:
+        vectorized exclusion masks plus one ``select_top_k_many`` call,
+        all scratch drawn from the retained workspace.  ``chunk`` holds
+        the block's seeds in caller id space; returns the ``-1``-padded
+        ``(len(chunk), k)`` id matrix (a retained buffer — rows are
+        copied out by the caller)."""
+        banned = None
+        if exclude_seed or exclude_neighbors:
+            banned = banned_mask_many(
+                self.graph, chunk, exclude_seed, exclude_neighbors,
+                out=self._workspace.request(
+                    "stream.banned", matrix.shape, np.bool_
+                ),
+            )
+        return select_top_k_many(
+            matrix, k, banned=banned,
+            out=self._workspace.request(
+                "stream.picks", (matrix.shape[0], int(k)), np.int64
+            ),
+        )
 
     def serve(
         self,
@@ -343,19 +511,34 @@ class Engine:
         """Throughput path: top-``k`` ids for a whole seed batch.
 
         Skips the per-request bookkeeping of :meth:`batch` and returns the
-        ``(len(seeds), k)`` ``int64`` ranking matrix straight from
+        ``(len(seeds), k)`` ``int64`` ranking matrix built from
         :meth:`~repro.method.PPRMethod.top_k_many` (rows padded with
         ``-1`` when exclusions leave fewer than ``k`` nodes).  This is the
         paper's Who-to-Follow shape: millions of users, top-500 each.
+
+        The batch is streamed ``stream_block`` seeds at a time, with the
+        compiled :func:`repro.kernels.select_top_k_many` selection fused
+        into each block — only ``block * k`` ids survive a block, so
+        arbitrarily large batches serve in constant memory.
         """
         seeds_arr = self._method.validate_seeds(seeds)
         if self._reordering is not None:
             seeds_arr = self._reordering.to_reordered[seeds_arr]
+        block = self._stream_block
         begin = time.perf_counter()
-        rankings = self._method.top_k_many(
-            seeds_arr, k, exclude_seeds=exclude_seeds,
-            exclude_neighbors=exclude_neighbors,
-        )
+        if seeds_arr.size <= block:
+            rankings = self._method.top_k_many(
+                seeds_arr, k, exclude_seeds=exclude_seeds,
+                exclude_neighbors=exclude_neighbors,
+            )
+        else:
+            rankings = np.empty((seeds_arr.size, int(k)), dtype=np.int64)
+            for start in range(0, seeds_arr.size, block):
+                stop = min(start + block, seeds_arr.size)
+                rankings[start:stop] = self._method.top_k_many(
+                    seeds_arr[start:stop], k, exclude_seeds=exclude_seeds,
+                    exclude_neighbors=exclude_neighbors,
+                )
         self._online_seconds += time.perf_counter() - begin
         if self._reordering is not None:
             rankings = self._reordering.ids_to_original(rankings)

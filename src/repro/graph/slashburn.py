@@ -57,6 +57,21 @@ class SlashBurnOrdering:
     blocks: list[np.ndarray]
     iterations: int
 
+    def block_starts(self) -> np.ndarray:
+        """First new node id of every non-hub block, ascending.
+
+        These are the natural cut points of the permuted operator: a row
+        tile closed on a block start gathers only from its own blocks
+        plus the hub band, which is what makes the blocked SpMM
+        (:func:`repro.kernels.row_tiling` with ``block_starts``) cache
+        friendly.  Empty when the graph is all hubs.
+        """
+        if not self.blocks:
+            return np.empty(0, dtype=np.int64)
+        return np.asarray(
+            [int(block[0]) for block in self.blocks], dtype=np.int64
+        )
+
 
 def slashburn(graph: Graph, k: int | None = None, max_block: int | None = None) -> SlashBurnOrdering:
     """Compute a SlashBurn ordering of ``graph``.

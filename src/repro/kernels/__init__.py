@@ -8,6 +8,14 @@ power-iteration baseline — bottoms out in repeated sparse matrix–vector
 
 * :func:`spmv` / :func:`spmm` — CSR-native products with caller-supplied
   output buffers (no per-iteration allocation);
+* :func:`spmm_tiled` — the same product executed over a hub-aware
+  :class:`~repro.kernels.tiling.RowTiling` (bitwise identical to
+  :func:`spmm`; tuned by ``REPRO_KERNEL_TILE`` / :func:`set_tile_rows`
+  and auto-enabled by ``Engine(..., reorder="slashburn")``);
+* :func:`select_top_k` / :func:`select_top_k_many` — the ranking
+  primitives (:mod:`repro.kernels.topk`): batch-parallel bounded-heap
+  top-k selection on the Numba backend, the looped ``argpartition``
+  reference on NumPy — identical ban and tie semantics;
 * two interchangeable backends (see :mod:`repro.kernels.backend`):
   a Numba-JIT, ``prange``-parallel implementation auto-selected at import
   when Numba is installed, and a pure NumPy/SciPy fallback that is
@@ -69,11 +77,22 @@ from repro.kernels.backend import (
     _backend_module,
 )
 from repro.kernels.reorder import LocalityReordering, locality_reordering
+from repro.kernels.tiling import (
+    DEFAULT_TILE_ROWS,
+    RowTiling,
+    row_tiling,
+    set_tile_rows,
+    tile_rows,
+)
+from repro.kernels.topk import select_top_k, select_top_k_many
 from repro.kernels.workspace import Workspace
 
 __all__ = [
     "spmv",
     "spmm",
+    "spmm_tiled",
+    "select_top_k",
+    "select_top_k_many",
     "available_backends",
     "get_backend",
     "set_backend",
@@ -84,6 +103,11 @@ __all__ = [
     "Workspace",
     "LocalityReordering",
     "locality_reordering",
+    "DEFAULT_TILE_ROWS",
+    "RowTiling",
+    "row_tiling",
+    "set_tile_rows",
+    "tile_rows",
     "forward_push_loop",
     "backward_push_loop",
 ]
@@ -144,6 +168,39 @@ def spmm(matrix, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     x = _prepare_operand(matrix, x, 2)
     out = _prepare_out(matrix, x, out, (matrix.shape[0], x.shape[1]))
     return _backend_module().spmm(matrix, x, out)
+
+
+def spmm_tiled(
+    matrix,
+    x: np.ndarray,
+    out: np.ndarray | None = None,
+    tiling: "RowTiling | None" = None,
+) -> np.ndarray:
+    """:func:`spmm` executed tile by tile along the rows of ``matrix``.
+
+    ``tiling`` fixes the execution schedule (see
+    :mod:`repro.kernels.tiling`); ``None`` builds a plain equal-height
+    tiling from the configured tile height.  Per-row arithmetic is
+    unchanged, so the result is **bitwise identical** to :func:`spmm` on
+    both backends — the tiling only bounds each pass's working set, which
+    is where the win comes from on a SlashBurn-reordered operator (hot
+    hub band + block-local gathers).  Same ``out`` contract as
+    :func:`spmv`.
+    """
+    x = _prepare_operand(matrix, x, 2)
+    out = _prepare_out(matrix, x, out, (matrix.shape[0], x.shape[1]))
+    if tiling is None:
+        tiling = row_tiling(matrix.shape[0])
+    elif tiling.num_rows != matrix.shape[0]:
+        raise ParameterError(
+            f"tiling covers {tiling.num_rows} rows but the matrix has "
+            f"{matrix.shape[0]}"
+        )
+    module = _backend_module()
+    impl = getattr(module, "spmm_tiled", None)
+    if impl is None:  # pragma: no cover - every shipped backend has one
+        return module.spmm(matrix, x, out)
+    return impl(matrix, x, out, tiling.boundaries)
 
 
 def forward_push_loop(*args) -> int | None:

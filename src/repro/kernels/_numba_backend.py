@@ -58,6 +58,111 @@ def _spmm(indptr, indices, data, x, out):  # pragma: no cover - JIT
                 out[i, k] += value * x[column, k]
 
 
+@njit(parallel=True, nogil=True, cache=True)
+def _spmm_tiled(indptr, indices, data, x, out, boundaries):  # pragma: no cover - JIT
+    # Tile-parallel variant of _spmm: prange over row tiles instead of
+    # rows.  Each row's accumulation is identical to _spmm's (same stored
+    # index order, same output-dtype rounding), so the tiled product is
+    # bitwise identical to the untiled one; the tiling only fixes the
+    # traversal schedule so a tile's out slice plus the x rows it gathers
+    # (hub band + its own community blocks under SlashBurn order) stay
+    # cache resident, and gives the scheduler coarser, better-balanced
+    # units than single skewed rows.
+    width = x.shape[1]
+    tiles = boundaries.shape[0] - 1
+    for t in prange(tiles):
+        for i in range(boundaries[t], boundaries[t + 1]):
+            for k in range(width):
+                out[i, k] = 0.0
+            for j in range(indptr[i], indptr[i + 1]):
+                value = data[j]
+                column = indices[j]
+                for k in range(width):
+                    out[i, k] += value * x[column, k]
+
+
+@njit(nogil=True, cache=True)
+def _heap_worse(s_a, i_a, s_b, i_b):  # pragma: no cover - JIT
+    # "a is worse than b" under the ranking order (score descending, ties
+    # by ascending id): lower score, or equal score and higher id.  The
+    # single definition of the tie-break contract for the heap kernels.
+    return s_a < s_b or (s_a == s_b and i_a > i_b)
+
+
+@njit(nogil=True, cache=True)
+def _heap_sift_down(heap_s, heap_i, size):  # pragma: no cover - JIT
+    # Restore the min-heap (root = worst kept entry) after replacing the
+    # root; heap_s/heap_i[0:size] is otherwise heap-ordered.
+    pos = 0
+    while True:
+        left = 2 * pos + 1
+        if left >= size:
+            break
+        worst = left
+        right = left + 1
+        if right < size and _heap_worse(
+            heap_s[right], heap_i[right], heap_s[left], heap_i[left]
+        ):
+            worst = right
+        if _heap_worse(heap_s[worst], heap_i[worst], heap_s[pos], heap_i[pos]):
+            heap_s[pos], heap_s[worst] = heap_s[worst], heap_s[pos]
+            heap_i[pos], heap_i[worst] = heap_i[worst], heap_i[pos]
+            pos = worst
+        else:
+            break
+
+
+@njit(parallel=True, nogil=True, cache=True)
+def _select_top_k_many(scores, banned, use_banned, k, out):  # pragma: no cover - JIT
+    # Row-parallel bounded selection: each row keeps its k best candidates
+    # in a binary min-heap whose root is the *worst* kept entry under the
+    # ranking order (see _heap_worse).  A final in-place heapsort pops
+    # the worst to the back repeatedly, so the row comes out best first —
+    # exactly select_top_k's order.
+    rows, n = scores.shape
+    for b in prange(rows):
+        heap_s = np.empty(k, np.float64)
+        heap_i = np.empty(k, np.int64)
+        size = 0
+        for i in range(n):
+            if use_banned and banned[b, i]:
+                continue
+            s = scores[b, i]
+            if size < k:
+                pos = size
+                heap_s[pos] = s
+                heap_i[pos] = i
+                size += 1
+                while pos > 0:  # sift up while worse than the parent
+                    parent = (pos - 1) // 2
+                    if _heap_worse(
+                        heap_s[pos], heap_i[pos],
+                        heap_s[parent], heap_i[parent],
+                    ):
+                        heap_s[pos], heap_s[parent] = heap_s[parent], heap_s[pos]
+                        heap_i[pos], heap_i[parent] = heap_i[parent], heap_i[pos]
+                        pos = parent
+                    else:
+                        break
+            elif _heap_worse(heap_s[0], heap_i[0], s, i):
+                # Beats the worst kept entry: replace the root, sift down.
+                heap_s[0] = s
+                heap_i[0] = i
+                _heap_sift_down(heap_s, heap_i, size)
+        # Heapsort: move the current worst to the back until sorted; the
+        # kept entries end up best first in heap_s/heap_i[0:size].
+        length = size
+        while length > 1:
+            length -= 1
+            heap_s[0], heap_s[length] = heap_s[length], heap_s[0]
+            heap_i[0], heap_i[length] = heap_i[length], heap_i[0]
+            _heap_sift_down(heap_s, heap_i, length)
+        for j in range(size):
+            out[b, j] = heap_i[j]
+        for j in range(size, k):
+            out[b, j] = -1
+
+
 def spmv(matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
     """``out <- matrix @ x`` for CSR ``matrix`` and a 1-D operand."""
     _spmv(matrix.indptr, matrix.indices, matrix.data, x, out)
@@ -68,6 +173,27 @@ def spmm(matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
     """``out <- matrix @ x`` for CSR ``matrix`` and a C-contiguous
     ``(n, B)`` operand."""
     _spmm(matrix.indptr, matrix.indices, matrix.data, x, out)
+    return out
+
+
+def spmm_tiled(
+    matrix, x: np.ndarray, out: np.ndarray, boundaries: np.ndarray
+) -> np.ndarray:
+    """``out <- matrix @ x`` executed tile by tile (bitwise equal to
+    :func:`spmm`; see :mod:`repro.kernels.tiling`)."""
+    _spmm_tiled(matrix.indptr, matrix.indices, matrix.data, x, out, boundaries)
+    return out
+
+
+def select_top_k_many(
+    scores: np.ndarray,
+    banned: np.ndarray,
+    use_banned: bool,
+    k: int,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Row-parallel top-``k`` selection into ``out`` (``-1`` padded)."""
+    _select_top_k_many(scores, banned, use_banned, int(k), out)
     return out
 
 

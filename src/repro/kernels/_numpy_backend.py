@@ -60,6 +60,42 @@ def spmm(matrix, x: np.ndarray, out: np.ndarray) -> np.ndarray:
     return out
 
 
+def spmm_tiled(
+    matrix, x: np.ndarray, out: np.ndarray, boundaries: np.ndarray
+) -> np.ndarray:
+    """``out <- matrix @ x`` executed tile by tile.
+
+    Each tile is one ``csr_matvecs`` call over a zero-copy row slice of
+    the operator (indptr rebased by the tile's first nonzero position).
+    Rows are computed independently by the scipy kernel, so the tiled
+    product is bitwise identical to :func:`spmm` — the tiling only
+    bounds each pass's working set.
+    """
+    if _csr_matvecs is None:
+        np.copyto(out, matrix @ x)
+        return out
+    n_col = matrix.shape[1]
+    width = x.shape[1]
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    x_flat = x.ravel()
+    for t in range(boundaries.size - 1):
+        r0, r1 = int(boundaries[t]), int(boundaries[t + 1])
+        p0, p1 = int(indptr[r0]), int(indptr[r1])
+        tile_out = out[r0:r1]
+        tile_out.fill(0.0)
+        _csr_matvecs(
+            r1 - r0, n_col, width,
+            indptr[r0 : r1 + 1] - p0, indices[p0:p1], data[p0:p1],
+            x_flat, tile_out.ravel(),
+        )
+    return out
+
+
+#: The bounded-heap batched selection only exists compiled; the dispatcher
+#: in ``repro.kernels.topk`` runs the looped ``select_top_k`` reference
+#: when the active backend signals None here.
+select_top_k_many = None
+
 #: The queue-based push loops have no NumPy vectorization; the reference
 #: Python implementations in ``repro.baselines.forward_push`` /
 #: ``backward_push`` are this backend's implementation, signalled by None.

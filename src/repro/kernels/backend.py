@@ -173,12 +173,17 @@ def set_compute_dtype(dtype: str | type | np.dtype) -> type:
 def cache_token() -> str:
     """Opaque token identifying the numeric configuration of results.
 
-    Two runs with equal tokens compute with the same backend and dtype,
-    so their score vectors are interchangeable; score caches (e.g. the
-    :class:`~repro.engine.Engine` LRU) must key on this so a float32 run
-    never serves cached float64 vectors (or vice versa).
+    Two runs with equal tokens compute with the same backend, tiling
+    configuration, and dtype, so their score vectors are interchangeable;
+    score caches (e.g. the :class:`~repro.engine.Engine` LRU) must key on
+    this so a float32 run never serves cached float64 vectors (or vice
+    versa).  The tile component (see :mod:`repro.kernels.tiling`) keeps
+    caches honest about *how* results were produced even though tiled and
+    untiled products are bitwise identical by contract.
     """
-    return f"{_active_backend}:{np.dtype(_compute_dtype).name}"
+    from repro.kernels.tiling import tile_token
+
+    return f"{_active_backend}:{tile_token()}:{np.dtype(_compute_dtype).name}"
 
 
 _numba_module: ModuleType | None = None

@@ -21,10 +21,12 @@ the SpMM's accumulation schedule).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.kernels.tiling import RowTiling, row_tiling
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # Imported lazily at call time: repro.graph.graph itself imports the
@@ -50,12 +52,19 @@ class LocalityReordering:
     num_hubs:
         Size of the hub prefix (rows ``0..num_hubs-1`` of the reordered
         operator are the hot band).
+    block_starts:
+        First reordered id of every non-hub community block, ascending
+        (empty when unknown) — the natural tile cut points for
+        :meth:`spmm_tiling`.
     """
 
     graph: Graph
     to_reordered: np.ndarray
     to_original: np.ndarray
     num_hubs: int
+    block_starts: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
 
     def scores_to_original(self, scores: np.ndarray) -> np.ndarray:
         """Map a score vector (or ``(n, B)`` column stack) computed on the
@@ -68,6 +77,19 @@ class LocalityReordering:
         ids = np.asarray(ids)
         result = np.where(ids >= 0, self.to_original[np.clip(ids, 0, None)], ids)
         return result.astype(np.int64, copy=False)
+
+    def spmm_tiling(self, tile_height: int | None = None) -> RowTiling:
+        """A :class:`~repro.kernels.tiling.RowTiling` tuned to this
+        ordering: the hub band is chunked separately and spoke tiles
+        close on community-block frontiers, so each tile's gathers stay
+        within the hot hub prefix plus its own blocks.  ``tile_height``
+        defaults to the configured :func:`repro.kernels.tile_rows`."""
+        return row_tiling(
+            self.graph.num_nodes,
+            num_hubs=self.num_hubs,
+            tile_height=tile_height,
+            block_starts=self.block_starts,
+        )
 
 
 def locality_reordering(graph: Graph, k: int | None = None) -> LocalityReordering:
@@ -88,4 +110,5 @@ def locality_reordering(graph: Graph, k: int | None = None) -> LocalityReorderin
         to_reordered=inverse,
         to_original=permutation,
         num_hubs=ordering.num_hubs,
+        block_starts=ordering.block_starts(),
     )

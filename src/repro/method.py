@@ -25,71 +25,95 @@ import numpy as np
 
 from repro.exceptions import NotPreprocessedError
 from repro.graph.graph import Graph
+from repro.kernels import Workspace, select_top_k, select_top_k_many
 
-__all__ = ["PPRMethod", "select_top_k", "banned_mask"]
+__all__ = ["PPRMethod", "select_top_k", "banned_mask", "banned_mask_many"]
 
-
-def select_top_k(
-    scores: np.ndarray, k: int, banned: np.ndarray | None = None
-) -> np.ndarray:
-    """Indices of the ``k`` largest entries of ``scores``, best first.
-
-    Equivalent to ``np.argsort(-scores, kind="stable")`` filtered by
-    ``banned`` and truncated to ``k`` — ties broken by ascending node id —
-    but runs in ``O(n + k' log k')`` via :func:`np.argpartition` instead of
-    sorting all ``n`` nodes (``k'`` is ``k`` plus boundary ties).
-
-    Parameters
-    ----------
-    scores:
-        Length-``n`` score vector.
-    k:
-        Result size; fewer indices are returned when ``banned`` leaves
-        fewer than ``k`` nodes.
-    banned:
-        Optional boolean mask of nodes excluded from the ranking.
-    """
-    scores = np.asarray(scores, dtype=np.float64)
-    n = scores.size
-    if banned is not None and banned.any():
-        masked = scores.copy()
-        masked[banned] = -np.inf
-        available = n - int(np.count_nonzero(banned))
-    else:
-        masked = scores
-        available = n
-    kk = min(int(k), available)
-    if kk <= 0:
-        return np.empty(0, dtype=np.int64)
-    if kk < n:
-        # Value of the kk-th largest entry; every banned entry is -inf and
-        # therefore below it, so the candidate set never contains one.
-        kth = np.partition(masked, n - kk)[n - kk]
-        candidates = np.flatnonzero(masked >= kth)
-    else:
-        candidates = np.flatnonzero(masked > -np.inf)
-    # Primary key: score descending; secondary: node id ascending — the
-    # exact order of a stable argsort over the negated scores.
-    order = np.lexsort((candidates, -masked[candidates]))
-    return candidates[order[:kk]].astype(np.int64, copy=False)
+#: Largest (B, n) exclusion-mask entry count drawn from the retained
+#: workspace (64 Mi entries = 64 MB of bool).  Serving loops stay under
+#: it (Engine blocks are stream_block wide), so they reuse one buffer;
+#: a one-off huge direct top_k_many call allocates transiently instead
+#: of pinning batch-proportional memory — and inflating
+#: preprocessed_bytes — for the method's lifetime.
+_RANK_MASK_RETAIN_LIMIT = 1 << 26
 
 
 def banned_mask(
-    graph: Graph, seed: int, exclude_seed: bool, exclude_neighbors: bool
+    graph: Graph,
+    seed: int,
+    exclude_seed: bool,
+    exclude_neighbors: bool,
+    out: np.ndarray | None = None,
 ) -> np.ndarray | None:
     """Boolean mask of nodes excluded from a top-k ranking for ``seed``.
 
     Returns ``None`` when nothing is excluded (the common fast path).
+    ``out`` optionally supplies a length-``n`` boolean buffer that is
+    cleared and reused — serving loops pass a retained workspace buffer
+    instead of allocating a fresh mask per request.
     """
     if not (exclude_seed or exclude_neighbors):
         return None
-    banned = np.zeros(graph.num_nodes, dtype=bool)
+    n = graph.num_nodes
+    if out is not None and out.shape == (n,) and out.dtype == np.bool_:
+        banned = out
+        banned[:] = False
+    else:
+        banned = np.zeros(n, dtype=bool)
     if exclude_seed:
         banned[seed] = True
     if exclude_neighbors and hasattr(graph, "out_neighbors"):
         neighbors = np.asarray(graph.out_neighbors(seed), dtype=np.int64)
         if neighbors.size:
             banned[neighbors] = True
+    return banned
+
+
+def banned_mask_many(
+    graph: Graph,
+    seeds: np.ndarray,
+    exclude_seeds: bool,
+    exclude_neighbors: bool,
+    out: np.ndarray | None = None,
+) -> np.ndarray | None:
+    """Per-row exclusion masks for a seed batch: the ``(B, n)`` analog of
+    :func:`banned_mask` (row ``j`` masks the ranking of ``seeds[j]``).
+
+    Returns ``None`` when nothing is excluded.  Neighbor rows are filled
+    with one vectorized CSR gather when the graph exposes its adjacency;
+    duck-typed substrates fall back to per-row ``out_neighbors`` calls.
+    ``out`` has the same reuse contract as in :func:`banned_mask`.
+    """
+    if not (exclude_seeds or exclude_neighbors):
+        return None
+    n = graph.num_nodes
+    batch = seeds.size
+    if out is not None and out.shape == (batch, n) and out.dtype == np.bool_:
+        banned = out
+        banned[:] = False
+    else:
+        banned = np.zeros((batch, n), dtype=bool)
+    if exclude_seeds:
+        banned[np.arange(batch), seeds] = True
+    if exclude_neighbors:
+        adjacency = getattr(graph, "adjacency", None)
+        if adjacency is not None:
+            indptr = adjacency.indptr
+            lengths = (indptr[seeds + 1] - indptr[seeds]).astype(np.int64)
+            total = int(lengths.sum())
+            if total:
+                starts = np.repeat(indptr[seeds].astype(np.int64), lengths)
+                resets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+                positions = np.arange(total, dtype=np.int64) - resets + starts
+                rows = np.repeat(np.arange(batch), lengths)
+                banned[rows, adjacency.indices[positions]] = True
+        elif hasattr(graph, "out_neighbors"):
+            for row, seed in enumerate(seeds.tolist()):
+                neighbors = np.asarray(
+                    graph.out_neighbors(seed), dtype=np.int64
+                )
+                if neighbors.size:
+                    banned[row, neighbors] = True
     return banned
 
 
@@ -112,6 +136,13 @@ class PPRMethod(ABC):
 
     def __init__(self) -> None:
         self._graph: Graph | None = None
+        # Retained scratch shared by the online phase: iterate ping-pong
+        # buffers (CPI/TPA), seed matrices (NB_LIN), and the ranking
+        # masks of the top-k paths all draw from it, so repeat queries at
+        # a stable batch shape allocate nothing.  Subclasses count it in
+        # preprocessed_bytes — retained buffers are resident serving
+        # state.
+        self._workspace = Workspace()
 
     # -- public protocol -------------------------------------------------------
 
@@ -228,8 +259,17 @@ class PPRMethod(ABC):
             raise ValueError("k must be at least 1")
         seed = self.validate_seed(seed)
         scores = self._query(seed)
-        banned = banned_mask(self.graph, seed, exclude_seed, exclude_neighbors)
-        return select_top_k(scores, k, banned)
+        if not (exclude_seed or exclude_neighbors):
+            return select_top_k(scores, k)
+        n = self.graph.num_nodes
+        banned = banned_mask(
+            self.graph, seed, exclude_seed, exclude_neighbors,
+            out=self._workspace.request("rank.banned", (n,), np.bool_),
+        )
+        return select_top_k(
+            scores, k, banned,
+            scratch=self._workspace.request("rank.masked", (n,), np.float64),
+        )
 
     def top_k_many(self, seeds: Sequence[int] | np.ndarray, k: int,
                    exclude_seeds: bool = True,
@@ -240,19 +280,32 @@ class PPRMethod(ABC):
         ranking of ``seeds[i]`` best-first, padded with ``-1`` when fewer
         than ``k`` nodes remain after exclusion.  Scoring goes through
         :meth:`query_many`, so vectorized methods answer the whole batch
-        with one pass over the graph.
+        with one pass over the graph, and selection goes through the
+        batch-parallel :func:`repro.kernels.select_top_k_many` kernel —
+        one call for the whole matrix, no per-row Python loop.  The
+        exclusion masks are built vectorized into a retained workspace
+        buffer, so a steady serving load allocates nothing here beyond
+        the ``(B, k)`` result.
         """
         if k < 1:
             raise ValueError("k must be at least 1")
         seeds_arr = self.validate_seeds(seeds)
         scores = self.query_many(seeds_arr)
-        result = np.full((seeds_arr.size, int(k)), -1, dtype=np.int64)
-        for i, seed in enumerate(seeds_arr.tolist()):
-            banned = banned_mask(self.graph, seed, exclude_seeds,
-                                 exclude_neighbors)
-            picks = select_top_k(scores[i], k, banned)
-            result[i, : picks.size] = picks
-        return result
+        if seeds_arr.size == 0:
+            return np.empty((0, int(k)), dtype=np.int64)
+        banned = None
+        if exclude_seeds or exclude_neighbors:
+            shape = (seeds_arr.size, self.graph.num_nodes)
+            out = None
+            if shape[0] * shape[1] <= _RANK_MASK_RETAIN_LIMIT:
+                out = self._workspace.request(
+                    "rank.banned_many", shape, np.bool_
+                )
+            banned = banned_mask_many(
+                self.graph, seeds_arr, exclude_seeds, exclude_neighbors,
+                out=out,
+            )
+        return select_top_k_many(scores, int(k), banned=banned)
 
     @abstractmethod
     def preprocessed_bytes(self) -> int:
