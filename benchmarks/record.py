@@ -22,14 +22,20 @@ SlashBurn-reordered operator), or
 ``topk_queries_per_second_fused`` vs
 ``topk_queries_per_second_materialized`` (the streamed
 ``Engine.serve`` ranking pipeline against scoring the whole batch and
-arg-partitioning row by row in Python).  Timings are best-of-N wall
-clock — the min filters scheduler noise.
+arg-partitioning row by row in Python), or
+``serving_queries_per_second`` / ``serving_latency_p99_ms`` (the
+concurrent serving stack: closed-loop clients against the
+micro-batching ``repro.serving.Server`` with one Engine replica per
+worker).  Timings are best-of-N wall clock — the min filters scheduler
+noise; the serving entry is one full closed-loop run after a warm-up
+wave.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import time
@@ -47,6 +53,7 @@ from repro.core.tpa import TPA  # noqa: E402
 from repro.engine import Engine  # noqa: E402
 from repro.graph.generators import community_graph  # noqa: E402
 from repro.method import banned_mask, select_top_k  # noqa: E402
+from repro.serving import Server, run_closed_loop  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 
@@ -157,6 +164,28 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         lambda: materialized_topk(method, seeds, topk), repeats
     )
 
+    # Concurrent serving: closed-loop clients hammering the Server with
+    # single-seed top-k requests.  The scheduler coalesces them into
+    # micro-batches and per-worker Engine replicas answer in parallel —
+    # the recorded q/s and p99 track the whole serving stack, not just
+    # the kernels.  One warm-up wave sizes every replica's workspace.
+    workers = max(1, min(4, os.cpu_count() or 1))
+    clients = workers * 2
+    with Server(
+        method,
+        workers=workers,
+        max_batch=batch,
+        max_wait_ms=2.0,
+        max_pending=4096,
+    ) as server:
+        run_closed_loop(
+            server, seeds, k=topk, clients=clients, requests_per_client=8,
+        )
+        report = run_closed_loop(
+            server, seeds, k=topk, clients=clients,
+            requests_per_client=max(32, batch),
+        )
+
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "commit": _commit(),
@@ -186,6 +215,13 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         "fused_over_materialized_topk_speedup": (
             materialized_seconds / fused_seconds
         ),
+        "serving_workers": workers,
+        "serving_clients": clients,
+        "serving_requests": report.requests,
+        "serving_queries_per_second": report.queries_per_second,
+        "serving_latency_p50_ms": report.latency_p50_ms,
+        "serving_latency_p95_ms": report.latency_p95_ms,
+        "serving_latency_p99_ms": report.latency_p99_ms,
     }
 
 

@@ -91,6 +91,7 @@ from repro.exceptions import (
     MemoryBudgetExceeded,
     ConvergenceError,
     ParameterError,
+    ServerOverloaded,
 )
 from repro.method import PPRMethod, select_top_k
 from repro.graph import (
@@ -155,6 +156,15 @@ from repro.engine import (
 from repro.graph.diskgraph import DiskGraph
 from repro.graph.stats import GraphStats, graph_stats
 from repro import kernels
+from repro import serving
+from repro.serving import (
+    LatencyStats,
+    LoadReport,
+    Scheduler,
+    ScoreCache,
+    Server,
+    run_closed_loop,
+)
 from repro.metrics import (
     l1_error,
     top_k,
@@ -175,6 +185,7 @@ __all__ = [
     "MemoryBudgetExceeded",
     "ConvergenceError",
     "ParameterError",
+    "ServerOverloaded",
     "PPRMethod",
     "select_top_k",
     "Engine",
@@ -243,5 +254,12 @@ __all__ = [
     "MemoryBudget",
     "format_bytes",
     "kernels",
+    "serving",
+    "Server",
+    "Scheduler",
+    "ScoreCache",
+    "LatencyStats",
+    "LoadReport",
+    "run_closed_loop",
     "__version__",
 ]

@@ -1,12 +1,13 @@
 """Command-line interface for the library itself.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro query --graph edges.tsv --seed 42 --method tpa --top 20
     python -m repro query --graph edges.tsv --seeds 1,2,3 --method tpa
     python -m repro query --graph edges.tsv --seeds @seeds.txt --batch
     python -m repro stats --graph edges.tsv
     python -m repro generate --dataset pokec --scale 0.5 --out pokec.tsv
+    python -m repro serve-bench --nodes 20000 --workers 4 --clients 8
 
 ``query`` reads a whitespace edge list, runs the chosen method through the
 batched :class:`~repro.engine.Engine`, and prints the top-ranked nodes (in
@@ -20,6 +21,13 @@ Methods are resolved via the registry
 ``stats`` prints the structural summary used to judge TPA-friendliness;
 ``generate`` writes one of the synthetic dataset analogs to disk as an
 edge list.
+
+``serve-bench`` stands up a :class:`repro.serving.Server` (worker pool
+of Engine replicas behind the micro-batching scheduler), drives it with
+the closed-loop load generator, and prints the client-observed latency
+histogram plus p50/p95/p99 and throughput; ``--json`` additionally
+writes the report for trend tracking (CI uploads it next to the
+bench-smoke artifact).
 
 (The per-figure experiment harness lives under ``python -m
 repro.experiments``.)
@@ -91,6 +99,37 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--dataset", choices=dataset_names(), required=True)
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("--out", required=True, help="destination path")
+
+    bench = commands.add_parser(
+        "serve-bench",
+        help="closed-loop load test of the concurrent serving stack",
+    )
+    source = bench.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="edge-list file to serve")
+    source.add_argument("--nodes", type=int,
+                        help="serve a synthetic community graph this big")
+    bench.add_argument("--avg-degree", type=int, default=16,
+                       help="synthetic graph mean degree (with --nodes)")
+    bench.add_argument("--method", choices=available_methods(), default="tpa")
+    bench.add_argument("--s-iteration", type=int, default=5)
+    bench.add_argument("--t-iteration", type=int, default=10)
+    bench.add_argument("--workers", type=int, default=2,
+                       help="worker threads (one Engine replica each)")
+    bench.add_argument("--clients", type=int, default=4,
+                       help="closed-loop client threads")
+    bench.add_argument("--requests", type=int, default=100,
+                       help="requests per client")
+    bench.add_argument("--top", type=int, default=10,
+                       help="top-k of every request")
+    bench.add_argument("--max-batch", type=int, default=32)
+    bench.add_argument("--max-wait-ms", type=float, default=2.0)
+    bench.add_argument("--max-pending", type=int, default=1024)
+    bench.add_argument("--cache", type=int, default=0,
+                       help="shared score-cache capacity (0 = off)")
+    bench.add_argument("--seed-pool", type=int, default=256,
+                       help="distinct seeds the load generator cycles over")
+    bench.add_argument("--json", dest="json_out",
+                       help="also write the report as JSON to this path")
 
     return parser
 
@@ -167,6 +206,105 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _latency_histogram(latencies_ms, buckets: int = 10, width: int = 40) -> str:
+    """An ASCII histogram of client-observed latencies, log-spaced —
+    serving latency distributions are long-tailed, so linear buckets
+    would pile everything into the first bar."""
+    import numpy as np
+
+    samples = np.asarray(latencies_ms, dtype=np.float64)
+    if samples.size == 0:
+        # Every request failed: still print the report (the error
+        # counts below are exactly what the user needs to see).
+        return "latency histogram (ms)\n  (no completed requests)"
+    low = max(samples.min(), 1e-3)
+    high = max(samples.max(), low * 1.001)
+    edges = np.geomspace(low, high, buckets + 1)
+    edges[0] = 0.0  # catch everything below the measured floor
+    counts, _ = np.histogram(samples, bins=edges)
+    peak = max(int(counts.max()), 1)
+    lines = ["latency histogram (ms)"]
+    for index, count in enumerate(counts.tolist()):
+        bar = "#" * max(1 if count else 0, round(width * count / peak))
+        lines.append(
+            f"  {edges[index]:8.2f} - {edges[index + 1]:8.2f}  "
+            f"{bar:<{width}} {count}"
+        )
+    return "\n".join(lines)
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.graph.generators import community_graph
+    from repro.serving import Server, run_closed_loop
+
+    if args.graph is not None:
+        graph, _ = read_edge_list(args.graph)
+        source = args.graph
+    else:
+        graph = community_graph(
+            args.nodes, avg_degree=args.avg_degree,
+            num_communities=max(8, args.nodes // 500), seed=7,
+        )
+        source = f"synthetic community ({args.nodes} nodes)"
+
+    method = create_method(args.method, **_method_params(args))
+    pool = np.random.default_rng(0).choice(
+        graph.num_nodes,
+        size=min(args.seed_pool, graph.num_nodes),
+        replace=False,
+    )
+    with Server(
+        method,
+        graph,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        cache_size=args.cache,
+    ) as server:
+        print(f"# graph={source} nodes={graph.num_nodes} "
+              f"edges={graph.num_edges}")
+        print(f"# method={method.name} workers={args.workers} "
+              f"clients={args.clients} requests/client={args.requests} "
+              f"top={args.top} max_batch={args.max_batch} "
+              f"max_wait_ms={args.max_wait_ms:g} cache={args.cache}")
+        report = run_closed_loop(
+            server,
+            pool,
+            k=args.top,
+            clients=args.clients,
+            requests_per_client=args.requests,
+        )
+
+    print(_latency_histogram(report.latencies_ms))
+    print(f"requests        {report.requests}")
+    print(f"rejected        {report.rejected}")
+    print(f"errors          {report.errors}")
+    print(f"wall seconds    {report.seconds:.3f}")
+    print(f"throughput      {report.queries_per_second:.1f} q/s")
+    print(f"latency p50     {report.latency_p50_ms:.2f} ms")
+    print(f"latency p95     {report.latency_p95_ms:.2f} ms")
+    print(f"latency p99     {report.latency_p99_ms:.2f} ms")
+    print(f"latency mean    {report.latency_mean_ms:.2f} ms")
+    stats = report.server_stats
+    print(f"queue mean      {stats['queue_mean_ms']:.2f} ms")
+    print(f"compute mean    {stats['compute_mean_ms']:.2f} ms")
+    if "cache" in stats:
+        cache = stats["cache"]
+        print(f"cache           {cache['hits']} hits / "
+              f"{cache['misses']} misses / {cache['evictions']} evictions")
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote report to {args.json_out}")
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale)
     spec = DATASETS[args.dataset]
@@ -188,6 +326,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _command_query,
         "stats": _command_stats,
         "generate": _command_generate,
+        "serve-bench": _command_serve_bench,
     }
     return handlers[args.command](args)
 

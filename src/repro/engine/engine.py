@@ -12,10 +12,10 @@ used to re-derive by hand (wall-time, preprocessed bytes, error bound).
 
 from __future__ import annotations
 
+import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -25,12 +25,24 @@ from repro.graph.graph import Graph
 from repro.kernels import select_top_k_many
 from repro.method import PPRMethod, banned_mask, banned_mask_many, select_top_k
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.serving.cache import ScoreCache
+
 __all__ = ["QueryRequest", "QueryResult", "Engine"]
 
 #: Default column-block width of the streamed top-k path: batches larger
 #: than this are scored block by block with selection fused into the
 #: loop, so the full ``n x batch`` score matrix never materializes.
 _DEFAULT_STREAM_BLOCK = 128
+
+#: Memory budget backing ``stream_block="auto"`` when the caller gives
+#: none: the streamed panels (method ping-pong iterates + score panel +
+#: exclusion mask) stay within ~64 MiB.
+_DEFAULT_STREAM_BUDGET_BYTES = 64 << 20
+
+#: Ceiling of the derived block width — beyond this the fused selection
+#: kernels stop gaining and latency per block dominates.
+_MAX_STREAM_BLOCK = 4096
 
 
 @dataclass(frozen=True)
@@ -121,7 +133,14 @@ class Engine:
         (default) disables caching.  Cached vectors are stored read-only
         and keyed by ``(seed, backend, compute dtype)`` — switching the
         kernel backend or the float32 policy mid-serve can never replay a
-        vector computed under the previous numeric configuration.
+        vector computed under the previous numeric configuration.  The
+        cache itself is a thread-safe
+        :class:`~repro.serving.cache.ScoreCache`.
+    cache:
+        An existing :class:`~repro.serving.cache.ScoreCache` to use
+        instead of a private one — this is how
+        :class:`~repro.serving.Server` makes all its Engine replicas
+        share one cache.  Mutually exclusive with ``cache_size``.
     reorder:
         ``"slashburn"`` relabels the graph into SlashBurn hub/spoke order
         before preprocessing (:func:`repro.kernels.locality_reordering`),
@@ -142,7 +161,27 @@ class Engine:
         and :meth:`batch` switches to the same streamed schedule when a
         cache-less batch of pure top-k requests has more distinct seeds
         than one block — selection is fused into the block loop, so the
-        full ``n x batch`` score matrix never materializes.
+        full ``n x batch`` score matrix never materializes.  Pass
+        ``"auto"`` to derive the width from the graph size, the active
+        compute dtype, and a memory budget instead: the streamed working
+        set (two method iterate panels, the score panel, the exclusion
+        mask) is sized to fit ``memory_budget_bytes``.
+    memory_budget_bytes:
+        The budget behind ``stream_block="auto"`` (default 64 MiB).
+        Giving a budget alone implies ``"auto"``; combining it with a
+        fixed integer width is a :class:`ParameterError`.
+
+    Notes
+    -----
+    A bare Engine is **thread-safe**: the cache is lock-guarded on its
+    own, and one reentrant lock serializes the online phase, the
+    ranking scratch, and the serving counters, so concurrent
+    :meth:`query` / :meth:`batch` calls from many threads are safe
+    (they execute one at a time).  For *parallel* serving, give each
+    worker thread its own replica via :meth:`replicate` — shared
+    preprocessed state, private scratch — or use
+    :class:`repro.serving.Server`, which does exactly that plus
+    micro-batching.
 
     Examples
     --------
@@ -160,20 +199,53 @@ class Engine:
         graph: Graph | None = None,
         cache_size: int = 0,
         reorder: str | None = None,
-        stream_block: int | None = None,
+        stream_block: int | str | None = None,
+        memory_budget_bytes: int | None = None,
+        cache: "ScoreCache | None" = None,
     ):
         if cache_size < 0:
             raise ParameterError("cache_size must be non-negative")
+        if cache is not None and cache_size:
+            raise ParameterError(
+                "pass either a shared cache or cache_size, not both"
+            )
         if reorder not in (None, "slashburn"):
             raise ParameterError(
                 f"unknown reorder strategy {reorder!r}; "
                 "choose 'slashburn' or None"
             )
-        if stream_block is None:
-            stream_block = _DEFAULT_STREAM_BLOCK
-        elif stream_block < 1:
-            raise ParameterError("stream_block must be at least 1")
-        self._stream_block = int(stream_block)
+        if memory_budget_bytes is not None and memory_budget_bytes < 1:
+            raise ParameterError("memory_budget_bytes must be positive")
+        if stream_block == "auto" or (
+            stream_block is None and memory_budget_bytes is not None
+        ):
+            # Adaptive width: derived per call from n, the active compute
+            # dtype, and the budget (dtype can change mid-serve).
+            self._stream_block: int | None = None
+            self._memory_budget_bytes = int(
+                memory_budget_bytes
+                if memory_budget_bytes is not None
+                else _DEFAULT_STREAM_BUDGET_BYTES
+            )
+        elif isinstance(stream_block, str):
+            raise ParameterError(
+                f"unknown stream_block {stream_block!r}; "
+                "pass an integer width or 'auto'"
+            )
+        else:
+            if memory_budget_bytes is not None:
+                # A fixed width and a budget contradict each other;
+                # silently ignoring either would betray one intent.
+                raise ParameterError(
+                    "memory_budget_bytes requires stream_block='auto' "
+                    "(or no stream_block); a fixed width ignores budgets"
+                )
+            if stream_block is None:
+                stream_block = _DEFAULT_STREAM_BLOCK
+            elif stream_block < 1:
+                raise ParameterError("stream_block must be at least 1")
+            self._stream_block = int(stream_block)
+            self._memory_budget_bytes = None
         self._reordering: kernels.LocalityReordering | None = None
         if reorder is not None:
             if graph is None:
@@ -204,8 +276,25 @@ class Engine:
             method.preprocess(serving_graph)
             self._preprocess_seconds = time.perf_counter() - begin
         self._method = method
-        self._cache_size = int(cache_size)
-        self._cache: OrderedDict[tuple[int, str], np.ndarray] = OrderedDict()
+        if cache is not None:
+            self._score_cache: "ScoreCache | None" = cache
+        elif cache_size:
+            # Runtime import: repro.serving builds on repro.engine, so
+            # the cache class cannot be imported at module scope.
+            from repro.serving.cache import ScoreCache
+
+            self._score_cache = ScoreCache(cache_size)
+        else:
+            self._score_cache = None
+        if self._score_cache is not None:
+            # Refuse a cache already serving a different method/graph —
+            # a seed collision there would replay the wrong vector.
+            # Replicas share their root's identity, so the intended
+            # sharing binds cleanly.
+            root = getattr(method, "_replica_root", method)
+            self._score_cache.bind(
+                (type(method).__name__, id(root), id(method.graph))
+            )
         self._hits = 0
         self._misses = 0
         self._queries_served = 0
@@ -214,6 +303,11 @@ class Engine:
         # selection buffers, and the reorder gather of the streamed path
         # all reuse these instead of allocating per request.
         self._workspace = kernels.Workspace()
+        # One reentrant lock makes a bare Engine thread-safe: it guards
+        # the online phase (whose workspace scratch must never be shared
+        # mid-flight), the counters, and the stats reads.  The cache has
+        # its own lock so *shared* caches work across replicas.
+        self._lock = threading.RLock()
 
     # -- introspection ---------------------------------------------------------
 
@@ -249,15 +343,81 @@ class Engine:
             return float(bound())
         return None
 
+    @property
+    def cache(self) -> "ScoreCache | None":
+        """The score cache (private or shared), when caching is on."""
+        return self._score_cache
+
+    @property
+    def stream_block(self) -> int:
+        """The streamed top-k path's current column-block width.  Fixed
+        at construction, or derived from the memory budget and the
+        active compute dtype when ``stream_block="auto"``."""
+        return self._resolve_stream_block()
+
+    @property
+    def memory_budget_bytes(self) -> int | None:
+        """The budget behind an adaptive ``stream_block`` (``None`` for
+        a fixed width)."""
+        return self._memory_budget_bytes
+
+    def _resolve_stream_block(self) -> int:
+        if self._stream_block is not None:
+            return self._stream_block
+        # Streamed working set per seed column: the method's two iterate
+        # ping-pong panels plus the returned score panel (compute dtype)
+        # and the boolean exclusion mask.
+        n = self._method.graph.num_nodes
+        itemsize = np.dtype(kernels.compute_dtype()).itemsize
+        per_seed_bytes = n * (3 * itemsize + 1)
+        block = self._memory_budget_bytes // max(per_seed_bytes, 1)
+        return int(max(1, min(block, _MAX_STREAM_BLOCK)))
+
     def stats(self) -> dict[str, float]:
-        """Serving counters: queries, online seconds, cache hits/misses."""
-        return {
-            "queries_served": self._queries_served,
-            "online_seconds": self._online_seconds,
-            "cache_hits": self._hits,
-            "cache_misses": self._misses,
-            "cache_entries": len(self._cache),
-        }
+        """Serving counters: queries, online seconds, cache hits/misses.
+
+        Hits and misses are this engine's own lookups; a shared cache's
+        pooled counters live in ``engine.cache.stats()``.
+        """
+        with self._lock:
+            return {
+                "queries_served": self._queries_served,
+                "online_seconds": self._online_seconds,
+                "cache_hits": self._hits,
+                "cache_misses": self._misses,
+                "cache_entries": (
+                    len(self._score_cache)
+                    if self._score_cache is not None
+                    else 0
+                ),
+            }
+
+    def replicate(self) -> "Engine":
+        """A serving replica of this engine for one more worker thread.
+
+        The replica shares everything read-only — the preprocessed
+        method state (via :meth:`PPRMethod.replicate`), the serving
+        graph and its reordering, and the score cache object — while
+        owning every mutable piece: fresh workspace scratch, its own
+        lock, and zeroed counters.  Replicas on separate threads
+        therefore serve concurrently without aliasing buffers, which is
+        how :class:`repro.serving.Server` scales across cores.
+        """
+        clone = object.__new__(Engine)
+        clone._stream_block = self._stream_block
+        clone._memory_budget_bytes = self._memory_budget_bytes
+        clone._reordering = self._reordering
+        clone._original_graph = self._original_graph
+        clone._preprocess_seconds = 0.0
+        clone._method = self._method.replicate()
+        clone._score_cache = self._score_cache
+        clone._hits = 0
+        clone._misses = 0
+        clone._queries_served = 0
+        clone._online_seconds = 0.0
+        clone._workspace = kernels.Workspace()
+        clone._lock = threading.RLock()
+        return clone
 
     # -- the online phase ------------------------------------------------------
 
@@ -299,10 +459,17 @@ class Engine:
             if request.k is not None and request.k < 1:
                 raise ParameterError("k must be at least 1")
         seeds = self._method.validate_seeds([r.seed for r in requests])
+        with self._lock:
+            return self._batch_locked(requests, seeds)
 
-        if self._cache_size == 0 and all(r.k is not None for r in requests):
+    def _batch_locked(
+        self, requests: list[QueryRequest], seeds: np.ndarray
+    ) -> list[QueryResult]:
+        if self._score_cache is None and all(
+            r.k is not None for r in requests
+        ):
             distinct = np.unique(seeds)
-            if distinct.size > self._stream_block:
+            if distinct.size > self._resolve_stream_block():
                 return self._batch_streamed(requests, seeds)
 
         # Distinct seeds that truly need the online phase, in first-seen
@@ -341,8 +508,7 @@ class Engine:
                     # original space.
                     vector = self._reordering.scores_to_original(vector)
                 vector = np.ascontiguousarray(vector)
-                if self._cache_size:
-                    vector.setflags(write=False)
+                if self._score_cache is not None:
                     self._cache_put(seed, vector)
                 scored[seed] = vector
 
@@ -425,7 +591,7 @@ class Engine:
         bytes_resident = self._method.preprocessed_bytes()
         bound = self.error_bound()
         results: list[QueryResult | None] = [None] * len(requests)
-        block = self._stream_block
+        block = self._resolve_stream_block()
         for start in range(0, len(order), block):
             chunk = np.asarray(order[start : start + block], dtype=np.int64)
             query_seeds = chunk
@@ -524,56 +690,56 @@ class Engine:
         seeds_arr = self._method.validate_seeds(seeds)
         if self._reordering is not None:
             seeds_arr = self._reordering.to_reordered[seeds_arr]
-        block = self._stream_block
-        begin = time.perf_counter()
-        if seeds_arr.size <= block:
-            rankings = self._method.top_k_many(
-                seeds_arr, k, exclude_seeds=exclude_seeds,
-                exclude_neighbors=exclude_neighbors,
-            )
-        else:
-            rankings = np.empty((seeds_arr.size, int(k)), dtype=np.int64)
-            for start in range(0, seeds_arr.size, block):
-                stop = min(start + block, seeds_arr.size)
-                rankings[start:stop] = self._method.top_k_many(
-                    seeds_arr[start:stop], k, exclude_seeds=exclude_seeds,
+        with self._lock:
+            block = self._resolve_stream_block()
+            begin = time.perf_counter()
+            if seeds_arr.size <= block:
+                rankings = self._method.top_k_many(
+                    seeds_arr, k, exclude_seeds=exclude_seeds,
                     exclude_neighbors=exclude_neighbors,
                 )
-        self._online_seconds += time.perf_counter() - begin
-        if self._reordering is not None:
-            rankings = self._reordering.ids_to_original(rankings)
-        self._queries_served += rankings.shape[0]
-        return rankings
+            else:
+                rankings = np.empty((seeds_arr.size, int(k)), dtype=np.int64)
+                for start in range(0, seeds_arr.size, block):
+                    stop = min(start + block, seeds_arr.size)
+                    rankings[start:stop] = self._method.top_k_many(
+                        seeds_arr[start:stop], k, exclude_seeds=exclude_seeds,
+                        exclude_neighbors=exclude_neighbors,
+                    )
+            self._online_seconds += time.perf_counter() - begin
+            if self._reordering is not None:
+                rankings = self._reordering.ids_to_original(rankings)
+            self._queries_served += rankings.shape[0]
+            return rankings
 
     # -- LRU cache -------------------------------------------------------------
     #
-    # Keys are (seed, kernels.cache_token()): the token names the active
-    # backend and compute dtype, so a float32 run can never be answered
-    # from a cached float64 vector (or vice versa), and entries computed
-    # under a different backend never masquerade as the current one's.
+    # The cache is a thread-safe ScoreCache (repro.serving.cache), either
+    # private to this engine (cache_size > 0) or shared across replicas
+    # (cache=...).  It keys on (seed, kernels.cache_token()): the token
+    # names the active backend and compute dtype, so a float32 run can
+    # never be answered from a cached float64 vector (or vice versa), and
+    # entries computed under a different backend never masquerade as the
+    # current one's.
 
     def _cache_get(self, seed: int) -> np.ndarray | None:
-        if not self._cache_size:
+        if self._score_cache is None:
             return None
-        key = (seed, kernels.cache_token())
-        vector = self._cache.get(key)
-        if vector is not None:
-            self._cache.move_to_end(key)
-        return vector
+        return self._score_cache.get(seed)
 
     def _cache_put(self, seed: int, vector: np.ndarray) -> None:
-        key = (seed, kernels.cache_token())
-        self._cache[key] = vector
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        self._score_cache.put(seed, vector)
 
     def clear_cache(self) -> None:
         """Drop every cached score vector."""
-        self._cache.clear()
+        if self._score_cache is not None:
+            self._score_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        capacity = (
+            self._score_cache.capacity if self._score_cache is not None else 0
+        )
         return (
             f"Engine(method={self._method.name}, "
-            f"n={self.graph.num_nodes}, cache={self._cache_size})"
+            f"n={self.graph.num_nodes}, cache={capacity})"
         )

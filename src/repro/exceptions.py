@@ -46,5 +46,29 @@ class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its iteration cap."""
 
 
+class ServerOverloaded(ReproError):
+    """The serving admission queue is full and the request was rejected.
+
+    Raised by :meth:`repro.serving.Scheduler.submit` (and therefore
+    :meth:`repro.serving.Server.submit`) when ``max_pending`` requests
+    are already waiting — backpressure instead of unbounded queueing.
+    Clients should retry with backoff or shed load.
+    """
+
+    def __init__(self, pending: int, max_pending: int):
+        self.pending = pending
+        self.max_pending = max_pending
+        super().__init__(
+            f"admission queue full: {pending} requests pending "
+            f"(max_pending={max_pending})"
+        )
+
+    def __reduce__(self):
+        # args holds the formatted message, not the two constructor
+        # parameters — without this, pickling the exception across a
+        # process boundary breaks reconstruction.
+        return (type(self), (self.pending, self.max_pending))
+
+
 class ParameterError(ReproError):
     """An algorithm parameter is outside its valid domain."""

@@ -18,6 +18,7 @@ request/result machinery lives in :mod:`repro.engine`.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -168,6 +169,39 @@ class PPRMethod(ABC):
         """
         self._graph = graph
         self._preprocess(graph)
+
+    def replicate(self) -> "PPRMethod":
+        """An online-phase replica for concurrent serving.
+
+        The replica shares every read-only attribute with the original —
+        the graph and the (potentially huge) preprocessed arrays are
+        *not* copied — but owns fresh :class:`~repro.kernels.Workspace`
+        scratch, because retained iterate buffers are exactly the state
+        two threads must never share mid-query.  Every
+        ``Workspace``-typed instance attribute is replaced, and every
+        :class:`numpy.random.Generator` attribute is spawned into an
+        independent child stream (Monte-Carlo baselines mutate their RNG
+        per query), so subclasses that keep such state are covered
+        without overriding; a subclass with *other* per-query mutable
+        state must override and reset it too.
+
+        This is the unit :class:`repro.serving.Server` hands each worker
+        thread (via :meth:`repro.engine.Engine.replicate`).
+        """
+        if not self.is_preprocessed:
+            raise NotPreprocessedError(
+                f"{self.name}: preprocess() must run before replicate()"
+            )
+        clone = copy.copy(self)
+        for name, value in vars(self).items():
+            if isinstance(value, Workspace):
+                setattr(clone, name, Workspace())
+            elif isinstance(value, np.random.Generator):
+                setattr(clone, name, value.spawn(1)[0])
+        # Replicas of one method form a family rooted at the original
+        # instance — shared score caches key their bind identity on it.
+        clone._replica_root = getattr(self, "_replica_root", self)
+        return clone
 
     # -- seed validation (shared by every entry point) -------------------------
 

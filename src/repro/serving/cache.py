@@ -1,0 +1,139 @@
+"""Thread-safe shared score-vector cache.
+
+:class:`ScoreCache` is the Engine's LRU promoted into a standalone,
+lock-guarded object so it can be *shared*: under
+:class:`repro.serving.Server` every per-worker Engine replica points at
+one cache, and a vector computed by any worker answers every later
+request for that seed — replicas pool hits instead of each warming a
+private cache ``workers`` times over.
+
+Keys are ``(seed, repro.kernels.cache_token())``: the token names the
+active kernel backend and compute dtype, so flipping either mid-serve
+can never replay a vector computed under the previous numeric
+configuration (the same contract the Engine's private cache has had
+since PR 2).  Stored vectors are marked read-only — many threads may
+hold the same array at once.
+
+A cache is additionally *bound* to one serving identity (method family
++ graph) by the first Engine that attaches it (:meth:`ScoreCache.bind`);
+attaching it to an engine serving a different method or graph raises
+instead of silently cross-serving one method's vectors as another's.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro import kernels
+from repro.exceptions import ParameterError
+
+__all__ = ["ScoreCache"]
+
+
+class ScoreCache:
+    """A lock-guarded LRU of per-seed score vectors.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained vectors (must be positive).  Inserting
+        past capacity evicts least-recently-used entries.
+
+    Notes
+    -----
+    All operations are safe to call from any thread.  :meth:`put` marks
+    the vector read-only in place — the caller relinquishes write access
+    when it caches (the Engine hands over a fresh contiguous copy).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ParameterError("ScoreCache capacity must be at least 1")
+        self._capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[int, str], np.ndarray]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._identity: tuple | None = None
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained vectors."""
+        return self._capacity
+
+    def bind(self, identity: tuple) -> None:
+        """Stamp the cache with the serving identity of the engine
+        attaching it (done by ``Engine.__init__``).
+
+        The first bind records ``identity``; a later bind with a
+        different identity raises :class:`ParameterError` — one cache
+        must never be shared across different methods or graphs, where
+        a seed collision would silently serve the wrong vector.
+        Replicas (``Engine.replicate``) carry the same identity, so the
+        intended sharing always binds cleanly.
+        """
+        with self._lock:
+            if self._identity is None:
+                self._identity = identity
+            elif self._identity != identity:
+                raise ParameterError(
+                    "ScoreCache is already bound to a different "
+                    "method/graph; sharing one cache across "
+                    "incompatible engines would cross-serve vectors"
+                )
+
+    def get(self, seed: int) -> np.ndarray | None:
+        """The cached read-only vector for ``seed`` under the current
+        kernel configuration, or ``None``.  Counts a hit or a miss."""
+        key = (seed, kernels.cache_token())
+        with self._lock:
+            vector = self._entries.get(key)
+            if vector is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return vector
+
+    def put(self, seed: int, vector: np.ndarray) -> None:
+        """Cache ``vector`` for ``seed``, evicting LRU entries past
+        capacity.  The array is marked read-only in place."""
+        vector.setflags(write=False)
+        key = (seed, kernels.cache_token())
+        with self._lock:
+            self._entries[key] = vector
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached vector (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Cache counters: hits, misses, evictions, entries, capacity."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"ScoreCache(entries={stats['entries']}/{self._capacity}, "
+            f"hits={stats['hits']}, misses={stats['misses']})"
+        )

@@ -1,0 +1,158 @@
+"""Closed-loop load generator for the serving stack.
+
+``repro serve-bench`` and the benchmark suite both need the same thing:
+realistic concurrent traffic against a :class:`~repro.serving.Server`
+with client-side latency accounting.  :func:`run_closed_loop` provides
+it — ``clients`` threads each issue ``requests_per_client`` single-seed
+requests back to back (closed loop: a client never has more than one
+request in flight, so offered load self-regulates to the server's
+capacity and the queue cannot run away).
+
+Latencies are measured on the *client* side (submit → result), so they
+include queueing, coalescing wait, and compute — what a caller of the
+service would actually observe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine import QueryRequest
+from repro.exceptions import ParameterError, ServerOverloaded
+from repro.serving.metrics import percentiles
+from repro.serving.server import Server
+
+__all__ = ["LoadReport", "run_closed_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one closed-loop run.
+
+    Latency fields are milliseconds, measured client side; ``errors``
+    counts requests whose future raised (admission rejections land in
+    ``rejected`` instead and are retried by the generator).
+    """
+
+    clients: int
+    requests: int
+    seconds: float
+    queries_per_second: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    latency_max_ms: float
+    rejected: int
+    errors: int
+    server_stats: dict = field(default_factory=dict)
+    latencies_ms: np.ndarray | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (sample array summarized away)."""
+        payload = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key != "latencies_ms"
+        }
+        payload["seconds"] = float(self.seconds)
+        return payload
+
+
+def run_closed_loop(
+    server: Server,
+    seeds: Sequence[int] | np.ndarray,
+    k: int | None = 10,
+    clients: int = 4,
+    requests_per_client: int = 100,
+    exclude_seed: bool = True,
+    keep_samples: bool = True,
+) -> LoadReport:
+    """Drive ``server`` with ``clients`` closed-loop threads.
+
+    Client ``c`` issues request ``i`` for seed ``seeds[(c * stride + i)
+    % len(seeds)]`` — deterministic, evenly spread over the seed set so
+    repeated runs are comparable.  An admission rejection
+    (:class:`~repro.exceptions.ServerOverloaded`) is counted and the
+    request retried after a short backoff, keeping the closed loop
+    closed; any other failure counts as an error and the client moves
+    on.
+    """
+    if clients < 1:
+        raise ParameterError("clients must be at least 1")
+    if requests_per_client < 1:
+        raise ParameterError("requests_per_client must be at least 1")
+    seed_pool = np.asarray(seeds, dtype=np.int64)
+    if seed_pool.size == 0:
+        raise ParameterError("seed pool must not be empty")
+
+    per_client_latencies: list[list[float]] = [[] for _ in range(clients)]
+    rejected = [0] * clients
+    errors = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def client_loop(client: int) -> None:
+        stride = max(1, seed_pool.size // clients)
+        latencies = per_client_latencies[client]
+        barrier.wait()
+        for index in range(requests_per_client):
+            seed = int(seed_pool[(client * stride + index) % seed_pool.size])
+            request = QueryRequest(
+                seed=seed, k=k, exclude_seed=exclude_seed
+            )
+            begin = time.perf_counter()
+            while True:
+                try:
+                    future = server.submit(request)
+                    break
+                except ServerOverloaded:
+                    rejected[client] += 1
+                    time.sleep(0.001)
+            try:
+                future.result()
+            except Exception:  # noqa: BLE001 - client-side error tally
+                errors[client] += 1
+                continue
+            latencies.append(time.perf_counter() - begin)
+
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(client,),
+            name=f"repro-loadgen-{client}", daemon=True,
+        )
+        for client in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # clients start issuing together; wall clock from here
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+
+    samples = np.asarray(
+        [value for bucket in per_client_latencies for value in bucket],
+        dtype=np.float64,
+    )
+    completed = int(samples.size)
+    quantiles = percentiles(samples * 1e3)
+    return LoadReport(
+        clients=clients,
+        requests=completed,
+        seconds=elapsed,
+        queries_per_second=completed / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=quantiles["p50"],
+        latency_p95_ms=quantiles["p95"],
+        latency_p99_ms=quantiles["p99"],
+        latency_mean_ms=float(samples.mean() * 1e3) if completed else 0.0,
+        latency_max_ms=float(samples.max() * 1e3) if completed else 0.0,
+        rejected=sum(rejected),
+        errors=sum(errors),
+        server_stats=server.stats(),
+        latencies_ms=samples * 1e3 if keep_samples else None,
+    )

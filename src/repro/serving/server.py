@@ -1,0 +1,351 @@
+"""The concurrent serving front end: worker pool over Engine replicas.
+
+:class:`Server` is what turns the batched :class:`~repro.engine.Engine`
+into a *service*.  Clients on any thread call :meth:`Server.submit`
+(or the blocking :meth:`Server.query` / :meth:`Server.batch`) and the
+pieces below cooperate:
+
+* a :class:`~repro.serving.scheduler.Scheduler` coalesces the incoming
+  single requests into micro-batches (``max_batch`` / ``max_wait_ms``),
+  so concurrent single-seed traffic gets the measured batched-SpMM
+  speedup without any client-side batching;
+* ``workers`` threads each own one **Engine replica**
+  (:meth:`repro.engine.Engine.replicate`): the preprocessed arrays, the
+  graph, and the score cache are shared read-only, while every mutable
+  piece — the method's :class:`~repro.kernels.Workspace` scratch, the
+  engine's ranking buffers, its lock and counters — is per worker.
+  Replicas therefore run concurrently without aliasing scratch, and the
+  compiled ``prange`` kernels release the GIL, so workers genuinely
+  overlap on multi-core hosts;
+* one shared :class:`~repro.serving.cache.ScoreCache` (``cache_size >
+  0``) pools hits across all replicas;
+* admission control bounds the queue (``max_pending`` →
+  :class:`~repro.exceptions.ServerOverloaded`) and
+  :class:`~repro.serving.metrics.LatencyStats` records every request's
+  queue-time/compute-time split and p50/p95/p99.
+
+Results are plain :class:`~repro.engine.QueryResult` records, identical
+(up to the ``seconds``/``cached`` accounting fields) to what a serial
+``Engine.batch`` over the same requests returns — concurrency never
+changes scores or rankings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine import Engine, QueryRequest, QueryResult
+from repro.exceptions import ParameterError
+from repro.graph.graph import Graph
+from repro.method import PPRMethod
+from repro.serving.cache import ScoreCache
+from repro.serving.metrics import LatencyStats
+from repro.serving.scheduler import PendingRequest, Scheduler
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Concurrent micro-batching server over per-worker Engine replicas.
+
+    Parameters
+    ----------
+    method:
+        The RWR method to serve.  Preprocessed once (in the constructor,
+        via the primary Engine) and then shared read-only by every
+        worker replica.
+    graph:
+        Graph to preprocess for (optional when ``method`` already is).
+    workers:
+        Worker-thread count — one Engine replica each.
+    max_batch / max_wait_ms:
+        Micro-batching knobs (see :class:`~repro.serving.Scheduler`).
+    max_pending:
+        Admission bound; ``0`` disables backpressure.
+    cache_size:
+        Capacity of the *shared* :class:`ScoreCache`; ``0`` disables
+        caching.
+    reorder / stream_block / memory_budget_bytes:
+        Forwarded to :class:`~repro.engine.Engine`.
+    warm:
+        Run one throwaway query per replica before accepting traffic
+        (default).  This populates lazily-built shared state (decayed
+        operators, JIT code) serially, so worker threads never race to
+        create it.
+
+    Examples
+    --------
+    >>> from repro import Server, community_graph, create_method
+    >>> graph = community_graph(1000, avg_degree=10, seed=7)
+    >>> with Server(create_method("tpa"), graph, workers=2) as server:
+    ...     future = server.submit(QueryRequest(seed=0, k=10))
+    ...     result = future.result()
+    """
+
+    def __init__(
+        self,
+        method: PPRMethod,
+        graph: Graph | None = None,
+        *,
+        workers: int = 2,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_pending: int = 1024,
+        cache_size: int = 0,
+        reorder: str | None = None,
+        stream_block: int | str | None = None,
+        memory_budget_bytes: int | None = None,
+        warm: bool = True,
+    ):
+        if workers < 1:
+            raise ParameterError("workers must be at least 1")
+        if cache_size < 0:
+            raise ParameterError("cache_size must be non-negative")
+        # Cheap argument validation first: a max_batch typo must not
+        # surface only after minutes of preprocessing.
+        self._scheduler = Scheduler(
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_pending=max_pending,
+        )
+        self._cache = ScoreCache(cache_size) if cache_size else None
+        self._primary = Engine(
+            method,
+            graph,
+            reorder=reorder,
+            stream_block=stream_block,
+            memory_budget_bytes=memory_budget_bytes,
+            cache=self._cache,
+        )
+        # Every worker serves on a replica — never on the primary, whose
+        # method is the caller's live object (they may keep querying it
+        # outside the server; sharing its workspace scratch with a
+        # worker thread would corrupt scores).
+        self._engines = [self._primary.replicate() for _ in range(workers)]
+        if warm:
+            # One serial pass per replica: builds the shared decayed
+            # operator / JIT code before any concurrency, and sizes each
+            # replica's retained workspace.  Bypasses the engines (no
+            # stats/cache pollution) and runs in the *serving* id space,
+            # so any valid node works.
+            probe = np.zeros(1, dtype=np.int64)
+            for engine in self._engines:
+                engine.method.query_many(probe)
+        self._metrics = LatencyStats()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(engine,),
+                name=f"repro-serve-{index}",
+                daemon=True,
+            )
+            for index, engine in enumerate(self._engines)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Worker-thread (= Engine-replica) count."""
+        return len(self._engines)
+
+    @property
+    def engine(self) -> Engine:
+        """The primary Engine (whose constructor preprocessed).  It
+        never serves a worker thread — that is what the replicas are
+        for — so it is safe to use directly alongside the server."""
+        return self._primary
+
+    @property
+    def cache(self) -> ScoreCache | None:
+        """The shared score cache, when ``cache_size > 0``."""
+        return self._cache
+
+    @property
+    def metrics(self) -> LatencyStats:
+        """The server's latency recorder."""
+        return self._metrics
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued for dispatch."""
+        return self._scheduler.pending
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        """One merged view: latency snapshot, queue depth, worker count,
+        per-replica engine counters summed, and shared-cache counters."""
+        merged = self._metrics.snapshot()
+        merged["workers"] = self.workers
+        merged["pending"] = self.pending
+        merged["max_batch"] = self._scheduler.max_batch
+        merged["max_wait_ms"] = self._scheduler.max_wait_ms
+        snapshots = [engine.stats() for engine in self._engines]
+        merged["queries_served"] = sum(
+            snap["queries_served"] for snap in snapshots
+        )
+        merged["online_seconds"] = sum(
+            snap["online_seconds"] for snap in snapshots
+        )
+        if self._cache is not None:
+            merged["cache"] = self._cache.stats()
+        return merged
+
+    # -- the client surface ----------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> "Future[QueryResult]":
+        """Queue one request; returns the future its
+        :class:`~repro.engine.QueryResult` lands on.
+
+        Validation happens *here*, on the submitting thread — a
+        malformed request raises immediately instead of poisoning the
+        micro-batch it would have joined.  Raises
+        :class:`~repro.exceptions.ServerOverloaded` under backpressure
+        and :class:`RuntimeError` after :meth:`close`.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if request.k is not None and request.k < 1:
+            raise ParameterError("k must be at least 1")
+        # Seed ids are validated in the caller's id space, which matches
+        # the serving space in size (reordering is a permutation).
+        self.engine.method.validate_seed(request.seed)
+        return self._scheduler.submit(request)
+
+    def query(
+        self,
+        seed: int,
+        k: int | None = None,
+        exclude_seed: bool = True,
+        exclude_neighbors: bool = False,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Blocking convenience wrapper: submit one request, wait."""
+        future = self.submit(
+            QueryRequest(
+                seed=seed, k=k, exclude_seed=exclude_seed,
+                exclude_neighbors=exclude_neighbors,
+            )
+        )
+        return future.result(timeout)
+
+    def batch(
+        self,
+        requests: Iterable[QueryRequest],
+        timeout: float | None = None,
+    ) -> list[QueryResult]:
+        """Submit a request sequence and wait for every result.
+
+        Results come back in request order, exactly as
+        :meth:`Engine.batch` orders them.  The requests flow through the
+        same scheduler as everyone else's, so they may coalesce with
+        concurrent traffic.  If admission control rejects a request
+        mid-sequence, the already-submitted ones are cancelled where
+        still possible before the
+        :class:`~repro.exceptions.ServerOverloaded` propagates — a
+        retry must not double-compute the prefix.
+        """
+        futures = []
+        try:
+            for request in requests:
+                futures.append(self.submit(request))
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        return [future.result(timeout) for future in futures]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut the server down.
+
+        ``drain=True`` (default) lets workers finish every queued
+        request before exiting; ``drain=False`` cancels queued requests
+        (their futures report cancelled).  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not drain:
+            self._scheduler.cancel_pending()
+        self._scheduler.close()
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the worker loop -------------------------------------------------------
+
+    def _worker_loop(self, engine: Engine) -> None:
+        scheduler = self._scheduler
+        metrics = self._metrics
+        while True:
+            batch = scheduler.next_batch()
+            if batch is None:
+                return  # closed and drained
+            self._dispatch(engine, metrics, batch)
+
+    @staticmethod
+    def _resolve_future(future: "Future", result=None, error=None) -> None:
+        """Fulfil one client future, tolerating a concurrent ``cancel()``
+        — a client that timed out and cancelled between our cancelled()
+        check and the set would otherwise raise ``InvalidStateError``
+        here and silently kill the worker thread."""
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass  # the client cancelled; nobody is waiting for this one
+
+    @classmethod
+    def _dispatch(
+        cls,
+        engine: Engine,
+        metrics: LatencyStats,
+        batch: Sequence[PendingRequest],
+    ) -> None:
+        """Run one micro-batch on this worker's replica and fulfil its
+        futures.  A failing batch fails every member's future — clients
+        see the exception, the worker survives."""
+        dispatched_at = time.perf_counter()
+        try:
+            results = engine.batch([pending.request for pending in batch])
+        except BaseException as error:  # noqa: BLE001 - forwarded to clients
+            for pending in batch:
+                cls._resolve_future(pending.future, error=error)
+            return
+        finished_at = time.perf_counter()
+        compute_share = (finished_at - dispatched_at) / len(batch)
+        for pending, result in zip(batch, results):
+            metrics.record(
+                queue_seconds=dispatched_at - pending.submitted_at,
+                compute_seconds=compute_share,
+                total_seconds=finished_at - pending.submitted_at,
+            )
+            cls._resolve_future(pending.future, result=result)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Server(method={self.engine.method.name}, "
+            f"workers={self.workers}, "
+            f"max_batch={self._scheduler.max_batch}, "
+            f"pending={self.pending})"
+        )

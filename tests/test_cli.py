@@ -164,3 +164,39 @@ class TestGenerateCommand:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["generate", "--dataset", "orkut", "--out", "x.tsv"])
+
+
+class TestServeBenchCommand:
+    def test_synthetic_run_prints_report(self, tmp_path, capsys):
+        json_path = tmp_path / "serve-bench.json"
+        code = main([
+            "serve-bench", "--nodes", "600", "--avg-degree", "6",
+            "--workers", "2", "--clients", "2", "--requests", "10",
+            "--top", "5", "--cache", "16", "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency histogram (ms)" in out
+        assert "throughput" in out
+        assert "latency p99" in out
+        assert "cache" in out
+        import json
+
+        report = json.loads(json_path.read_text())
+        assert report["requests"] == 20
+        assert report["errors"] == 0
+        assert report["queries_per_second"] > 0
+
+    def test_edge_list_graph_source(self, edge_file, capsys):
+        code = main([
+            "serve-bench", "--graph", str(edge_file),
+            "--workers", "1", "--clients", "2", "--requests", "5",
+        ])
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_graph_and_nodes_mutually_exclusive(self, edge_file):
+        with pytest.raises(SystemExit):
+            main([
+                "serve-bench", "--graph", str(edge_file), "--nodes", "100",
+            ])

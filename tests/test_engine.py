@@ -202,3 +202,96 @@ class TestServe:
         stats = engine.stats()
         assert stats["queries_served"] == 3
         assert stats["online_seconds"] > 0
+
+
+class TestAdaptiveStreamBlock:
+    def test_fixed_default(self, engine):
+        assert engine.stream_block == 128
+        assert engine.memory_budget_bytes is None
+
+    def test_auto_derives_from_budget_and_dtype(self, small_community):
+        from repro import kernels
+
+        budget = 1 << 20
+        auto = Engine(
+            create_method("tpa", s_iteration=3, t_iteration=6),
+            small_community, stream_block="auto",
+            memory_budget_bytes=budget,
+        )
+        n = small_community.num_nodes
+        itemsize = np.dtype(kernels.compute_dtype()).itemsize
+        expected = max(1, min(budget // (n * (3 * itemsize + 1)), 4096))
+        assert auto.stream_block == expected
+        assert auto.memory_budget_bytes == budget
+
+    def test_budget_alone_implies_auto(self, small_community):
+        tight = Engine(
+            create_method("tpa", s_iteration=3, t_iteration=6),
+            small_community, memory_budget_bytes=1,
+        )
+        assert tight.stream_block == 1  # floor: always at least one seed
+
+    def test_auto_default_budget(self, small_community):
+        auto = Engine(
+            create_method("tpa", s_iteration=3, t_iteration=6),
+            small_community, stream_block="auto",
+        )
+        assert auto.memory_budget_bytes == 64 << 20
+        assert 1 <= auto.stream_block <= 4096
+
+    def test_invalid_values_rejected(self, small_community):
+        from repro.exceptions import ParameterError
+
+        method = create_method("tpa", s_iteration=3, t_iteration=6)
+        with pytest.raises(ParameterError):
+            Engine(method, small_community, stream_block="huge")
+        with pytest.raises(ParameterError):
+            Engine(method, small_community, stream_block=0)
+        with pytest.raises(ParameterError):
+            Engine(method, small_community, memory_budget_bytes=0)
+        with pytest.raises(ParameterError):
+            # A fixed width and a budget contradict each other.
+            Engine(
+                method, small_community,
+                stream_block=64, memory_budget_bytes=1 << 20,
+            )
+
+    def test_auto_streamed_results_match_fixed(self, small_community):
+        method = create_method("tpa", s_iteration=3, t_iteration=6)
+        method.preprocess(small_community)
+        requests = [
+            QueryRequest(seed=seed % 40, k=7) for seed in range(120)
+        ]
+        fixed = Engine(method, stream_block=16).batch(requests)
+        # A tight budget forces multi-block streaming on the same data.
+        auto = Engine(
+            method, stream_block="auto",
+            memory_budget_bytes=32 * small_community.num_nodes,
+        ).batch(requests)
+        for a, b in zip(fixed, auto):
+            np.testing.assert_array_equal(a.top_nodes, b.top_nodes)
+            np.testing.assert_array_equal(a.top_scores, b.top_scores)
+
+
+class TestSharedCacheParameter:
+    def test_cache_object_and_size_are_exclusive(self, small_community):
+        from repro.exceptions import ParameterError
+        from repro.serving import ScoreCache
+
+        with pytest.raises(ParameterError):
+            Engine(
+                create_method("tpa", s_iteration=3, t_iteration=6),
+                small_community, cache_size=4, cache=ScoreCache(4),
+            )
+
+    def test_shared_cache_across_engines(self, small_community):
+        from repro.serving import ScoreCache
+
+        shared = ScoreCache(8)
+        method = create_method("tpa", s_iteration=3, t_iteration=6)
+        method.preprocess(small_community)
+        first = Engine(method, cache=shared)
+        second = Engine(method.replicate(), cache=shared)
+        assert first.query(3).cached is False
+        assert second.query(3).cached is True  # hit via the shared cache
+        assert shared.stats()["hits"] == 1
