@@ -26,9 +26,12 @@ arg-partitioning row by row in Python), or
 ``serving_queries_per_second`` / ``serving_latency_p99_ms`` (the
 concurrent serving stack: closed-loop clients against the
 micro-batching ``repro.serving.Server`` with one Engine replica per
-worker).  Timings are best-of-N wall clock — the min filters scheduler
-noise; the serving entry is one full closed-loop run after a warm-up
-wave.
+worker), or ``sharded_queries_per_second`` / ``sharded_latency_p99_ms``
+(the same closed loop against the multi-process
+``repro.sharding.Router``: shard worker processes over shared-memory
+CSR row stripes).  Timings are best-of-N wall clock — the min filters
+scheduler noise; the serving entries are one full closed-loop run after
+a warm-up wave.
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ from repro.engine import Engine  # noqa: E402
 from repro.graph.generators import community_graph  # noqa: E402
 from repro.method import banned_mask, select_top_k  # noqa: E402
 from repro.serving import Server, run_closed_loop  # noqa: E402
+from repro.sharding import Router  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 
@@ -186,6 +190,27 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
             requests_per_client=max(32, batch),
         )
 
+    # Sharded serving: the same closed loop against the multi-process
+    # Router — shard worker processes over shared-memory CSR stripes
+    # behind one dispatcher.  The method is already preprocessed, so the
+    # Router adopts it; shards cut the serving operator uniformly (the
+    # reordered cut is exercised by shard-bench --reorder in CI).
+    shards = max(1, min(4, os.cpu_count() or 1))
+    with Router(
+        method,
+        num_shards=shards,
+        max_batch=batch,
+        max_wait_ms=2.0,
+        max_pending=4096,
+    ) as router:
+        run_closed_loop(
+            router, seeds, k=topk, clients=clients, requests_per_client=8,
+        )
+        sharded = run_closed_loop(
+            router, seeds, k=topk, clients=clients,
+            requests_per_client=max(32, batch),
+        )
+
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "commit": _commit(),
@@ -222,6 +247,12 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         "serving_latency_p50_ms": report.latency_p50_ms,
         "serving_latency_p95_ms": report.latency_p95_ms,
         "serving_latency_p99_ms": report.latency_p99_ms,
+        "sharded_shards": shards,
+        "sharded_requests": sharded.requests,
+        "sharded_queries_per_second": sharded.queries_per_second,
+        "sharded_latency_p50_ms": sharded.latency_p50_ms,
+        "sharded_latency_p95_ms": sharded.latency_p95_ms,
+        "sharded_latency_p99_ms": sharded.latency_p99_ms,
     }
 
 

@@ -77,6 +77,11 @@ Package map
   SlashBurn, partitioning.
 * :mod:`repro.ranking` — reference PageRank / exact RWR solvers.
 * :mod:`repro.baselines` — BRPPR, NB_LIN, BEAR-APPROX, FORA, HubPPR, BePI.
+* :mod:`repro.serving` — concurrent serving (micro-batching ``Scheduler``,
+  ``Server`` over Engine replicas, shared ``ScoreCache``, load generator).
+* :mod:`repro.sharding` — sharded multi-process serving (``ShardPlan``,
+  shared-memory ``ShardStore``, shard workers, ``Router``,
+  ``Engine.shard()``).
 * :mod:`repro.metrics` — L1 error, recall@k, memory and timing accounting.
 * :mod:`repro.analysis` — matrix-power densification and block-wise drift.
 * :mod:`repro.experiments` — one driver per paper table/figure
@@ -165,6 +170,8 @@ from repro.serving import (
     Server,
     run_closed_loop,
 )
+from repro import sharding
+from repro.sharding import Router, ShardPlan, ShardedEngine
 from repro.metrics import (
     l1_error,
     top_k,
@@ -261,5 +268,9 @@ __all__ = [
     "LatencyStats",
     "LoadReport",
     "run_closed_loop",
+    "sharding",
+    "Router",
+    "ShardPlan",
+    "ShardedEngine",
     "__version__",
 ]

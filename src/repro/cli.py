@@ -1,6 +1,6 @@
 """Command-line interface for the library itself.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro query --graph edges.tsv --seed 42 --method tpa --top 20
     python -m repro query --graph edges.tsv --seeds 1,2,3 --method tpa
@@ -8,6 +8,7 @@ Four subcommands::
     python -m repro stats --graph edges.tsv
     python -m repro generate --dataset pokec --scale 0.5 --out pokec.tsv
     python -m repro serve-bench --nodes 20000 --workers 4 --clients 8
+    python -m repro shard-bench --nodes 20000 --shards 4 --clients 8
 
 ``query`` reads a whitespace edge list, runs the chosen method through the
 batched :class:`~repro.engine.Engine`, and prints the top-ranked nodes (in
@@ -23,11 +24,14 @@ Methods are resolved via the registry
 edge list.
 
 ``serve-bench`` stands up a :class:`repro.serving.Server` (worker pool
-of Engine replicas behind the micro-batching scheduler), drives it with
-the closed-loop load generator, and prints the client-observed latency
+of Engine replicas behind the micro-batching scheduler); ``shard-bench``
+stands up a :class:`repro.sharding.Router` (shard worker processes over
+shared-memory CSR stripes behind the same scheduler).  Both drive the
+closed-loop load generator and print the client-observed latency
 histogram plus p50/p95/p99 and throughput; ``--json`` additionally
-writes the report for trend tracking (CI uploads it next to the
-bench-smoke artifact).
+writes the report — one shared, versioned schema
+(:data:`repro.serving.metrics.REPORT_SCHEMA`) for both deployments, so
+CI's artifacts stay directly diffable.
 
 (The per-figure experiment harness lives under ``python -m
 repro.experiments``.)
@@ -100,36 +104,57 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("--out", required=True, help="destination path")
 
+    def add_bench_arguments(bench) -> None:
+        """Flags shared by serve-bench and shard-bench — one benchmark
+        surface, two deployments."""
+        source = bench.add_mutually_exclusive_group(required=True)
+        source.add_argument("--graph", help="edge-list file to serve")
+        source.add_argument("--nodes", type=int,
+                            help="serve a synthetic community graph this big")
+        bench.add_argument("--avg-degree", type=int, default=16,
+                           help="synthetic graph mean degree (with --nodes)")
+        bench.add_argument("--method", choices=available_methods(),
+                           default="tpa")
+        bench.add_argument("--s-iteration", type=int, default=5)
+        bench.add_argument("--t-iteration", type=int, default=10)
+        bench.add_argument("--clients", type=int, default=4,
+                           help="closed-loop client threads")
+        bench.add_argument("--requests", type=int, default=100,
+                           help="requests per client")
+        bench.add_argument("--top", type=int, default=10,
+                           help="top-k of every request")
+        bench.add_argument("--max-batch", type=int, default=32)
+        bench.add_argument("--max-wait-ms", type=float, default=2.0)
+        bench.add_argument("--max-pending", type=int, default=1024)
+        bench.add_argument("--cache", type=int, default=0,
+                           help="shared score-cache capacity (0 = off)")
+        bench.add_argument("--seed-pool", type=int, default=256,
+                           help="distinct seeds the load generator cycles "
+                                "over")
+        bench.add_argument("--json", dest="json_out",
+                           help="also write the report as JSON to this path")
+
     bench = commands.add_parser(
         "serve-bench",
         help="closed-loop load test of the concurrent serving stack",
     )
-    source = bench.add_mutually_exclusive_group(required=True)
-    source.add_argument("--graph", help="edge-list file to serve")
-    source.add_argument("--nodes", type=int,
-                        help="serve a synthetic community graph this big")
-    bench.add_argument("--avg-degree", type=int, default=16,
-                       help="synthetic graph mean degree (with --nodes)")
-    bench.add_argument("--method", choices=available_methods(), default="tpa")
-    bench.add_argument("--s-iteration", type=int, default=5)
-    bench.add_argument("--t-iteration", type=int, default=10)
+    add_bench_arguments(bench)
     bench.add_argument("--workers", type=int, default=2,
                        help="worker threads (one Engine replica each)")
-    bench.add_argument("--clients", type=int, default=4,
-                       help="closed-loop client threads")
-    bench.add_argument("--requests", type=int, default=100,
-                       help="requests per client")
-    bench.add_argument("--top", type=int, default=10,
-                       help="top-k of every request")
-    bench.add_argument("--max-batch", type=int, default=32)
-    bench.add_argument("--max-wait-ms", type=float, default=2.0)
-    bench.add_argument("--max-pending", type=int, default=1024)
-    bench.add_argument("--cache", type=int, default=0,
-                       help="shared score-cache capacity (0 = off)")
-    bench.add_argument("--seed-pool", type=int, default=256,
-                       help="distinct seeds the load generator cycles over")
-    bench.add_argument("--json", dest="json_out",
-                       help="also write the report as JSON to this path")
+
+    shard = commands.add_parser(
+        "shard-bench",
+        help="closed-loop load test of the sharded multi-process router",
+    )
+    add_bench_arguments(shard)
+    shard.add_argument("--shards", type=int, default=2,
+                       help="shard worker processes (one row stripe each)")
+    shard.add_argument("--reorder",
+                       choices=("none", "slashburn", "partition"),
+                       default="slashburn",
+                       help="row ordering the shard plan cuts on")
+    shard.add_argument("--start-method", default=None,
+                       help="multiprocessing start method override")
 
     return parser
 
@@ -206,57 +231,67 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _latency_histogram(latencies_ms, buckets: int = 10, width: int = 40) -> str:
-    """An ASCII histogram of client-observed latencies, log-spaced —
-    serving latency distributions are long-tailed, so linear buckets
-    would pile everything into the first bar."""
-    import numpy as np
-
-    samples = np.asarray(latencies_ms, dtype=np.float64)
-    if samples.size == 0:
-        # Every request failed: still print the report (the error
-        # counts below are exactly what the user needs to see).
-        return "latency histogram (ms)\n  (no completed requests)"
-    low = max(samples.min(), 1e-3)
-    high = max(samples.max(), low * 1.001)
-    edges = np.geomspace(low, high, buckets + 1)
-    edges[0] = 0.0  # catch everything below the measured floor
-    counts, _ = np.histogram(samples, bins=edges)
-    peak = max(int(counts.max()), 1)
-    lines = ["latency histogram (ms)"]
-    for index, count in enumerate(counts.tolist()):
-        bar = "#" * max(1 if count else 0, round(width * count / peak))
-        lines.append(
-            f"  {edges[index]:8.2f} - {edges[index + 1]:8.2f}  "
-            f"{bar:<{width}} {count}"
-        )
-    return "\n".join(lines)
-
-
-def _command_serve_bench(args: argparse.Namespace) -> int:
-    import json
-
-    import numpy as np
-
+def _bench_graph(args: argparse.Namespace):
+    """The benchmark graph plus a human-readable source label."""
     from repro.graph.generators import community_graph
-    from repro.serving import Server, run_closed_loop
 
     if args.graph is not None:
         graph, _ = read_edge_list(args.graph)
-        source = args.graph
-    else:
-        graph = community_graph(
-            args.nodes, avg_degree=args.avg_degree,
-            num_communities=max(8, args.nodes // 500), seed=7,
-        )
-        source = f"synthetic community ({args.nodes} nodes)"
-
-    method = create_method(args.method, **_method_params(args))
-    pool = np.random.default_rng(0).choice(
-        graph.num_nodes,
-        size=min(args.seed_pool, graph.num_nodes),
-        replace=False,
+        return graph, args.graph
+    graph = community_graph(
+        args.nodes, avg_degree=args.avg_degree,
+        num_communities=max(8, args.nodes // 500), seed=7,
     )
+    return graph, f"synthetic community ({args.nodes} nodes)"
+
+
+def _bench_seed_pool(args: argparse.Namespace, num_nodes: int):
+    import numpy as np
+
+    return np.random.default_rng(0).choice(
+        num_nodes, size=min(args.seed_pool, num_nodes), replace=False,
+    )
+
+
+def _print_bench_report(args: argparse.Namespace, report, *, kind: str,
+                        config: dict) -> None:
+    """Render one closed-loop report: histogram, summary lines, and the
+    optional JSON document (shared schema across both benchmarks)."""
+    import json
+
+    from repro.serving.metrics import bench_report, latency_histogram
+
+    print(latency_histogram(report.latencies_ms))
+    print(f"requests        {report.requests}")
+    print(f"rejected        {report.rejected}")
+    print(f"errors          {report.errors}")
+    print(f"wall seconds    {report.seconds:.3f}")
+    print(f"throughput      {report.queries_per_second:.1f} q/s")
+    print(f"latency p50     {report.latency_p50_ms:.2f} ms")
+    print(f"latency p95     {report.latency_p95_ms:.2f} ms")
+    print(f"latency p99     {report.latency_p99_ms:.2f} ms")
+    print(f"latency mean    {report.latency_mean_ms:.2f} ms")
+    stats = report.server_stats
+    print(f"queue mean      {stats['queue_mean_ms']:.2f} ms")
+    print(f"compute mean    {stats['compute_mean_ms']:.2f} ms")
+    if "cache" in stats:
+        cache = stats["cache"]
+        print(f"cache           {cache['hits']} hits / "
+              f"{cache['misses']} misses / {cache['evictions']} evictions")
+
+    if args.json_out:
+        document = bench_report(report, kind=kind, config=config)
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"wrote report to {args.json_out}")
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serving import Server, run_closed_loop
+
+    graph, source = _bench_graph(args)
+    method = create_method(args.method, **_method_params(args))
+    pool = _bench_seed_pool(args, graph.num_nodes)
     with Server(
         method,
         graph,
@@ -280,28 +315,68 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
             requests_per_client=args.requests,
         )
 
-    print(_latency_histogram(report.latencies_ms))
-    print(f"requests        {report.requests}")
-    print(f"rejected        {report.rejected}")
-    print(f"errors          {report.errors}")
-    print(f"wall seconds    {report.seconds:.3f}")
-    print(f"throughput      {report.queries_per_second:.1f} q/s")
-    print(f"latency p50     {report.latency_p50_ms:.2f} ms")
-    print(f"latency p95     {report.latency_p95_ms:.2f} ms")
-    print(f"latency p99     {report.latency_p99_ms:.2f} ms")
-    print(f"latency mean    {report.latency_mean_ms:.2f} ms")
-    stats = report.server_stats
-    print(f"queue mean      {stats['queue_mean_ms']:.2f} ms")
-    print(f"compute mean    {stats['compute_mean_ms']:.2f} ms")
-    if "cache" in stats:
-        cache = stats["cache"]
-        print(f"cache           {cache['hits']} hits / "
-              f"{cache['misses']} misses / {cache['evictions']} evictions")
+    _print_bench_report(
+        args, report, kind="serve-bench",
+        config={
+            "graph": source, "nodes": graph.num_nodes,
+            "edges": graph.num_edges, "method": method.name,
+            "workers": args.workers, "clients": args.clients,
+            "requests_per_client": args.requests, "top": args.top,
+            "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
+            "cache": args.cache,
+        },
+    )
+    return 0
 
-    if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=2)
-        print(f"wrote report to {args.json_out}")
+
+def _command_shard_bench(args: argparse.Namespace) -> int:
+    from repro.serving import run_closed_loop
+    from repro.sharding import Router
+
+    graph, source = _bench_graph(args)
+    method = create_method(args.method, **_method_params(args))
+    pool = _bench_seed_pool(args, graph.num_nodes)
+    reorder = None if args.reorder == "none" else args.reorder
+    with Router(
+        method,
+        graph,
+        num_shards=args.shards,
+        reorder=reorder,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        cache_size=args.cache,
+        start_method=args.start_method,
+    ) as router:
+        print(f"# graph={source} nodes={graph.num_nodes} "
+              f"edges={graph.num_edges}")
+        print(f"# method={method.name} shards={router.num_shards} "
+              f"reorder={args.reorder} clients={args.clients} "
+              f"requests/client={args.requests} top={args.top} "
+              f"max_batch={args.max_batch} "
+              f"max_wait_ms={args.max_wait_ms:g} cache={args.cache}")
+        shard_rows = router.stats()["shards"]["shard_rows"]
+        print(f"# shard rows    {shard_rows}")
+        report = run_closed_loop(
+            router,
+            pool,
+            k=args.top,
+            clients=args.clients,
+            requests_per_client=args.requests,
+        )
+
+    _print_bench_report(
+        args, report, kind="shard-bench",
+        config={
+            "graph": source, "nodes": graph.num_nodes,
+            "edges": graph.num_edges, "method": method.name,
+            "shards": args.shards, "reorder": args.reorder,
+            "clients": args.clients,
+            "requests_per_client": args.requests, "top": args.top,
+            "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
+            "cache": args.cache, "shard_rows": shard_rows,
+        },
+    )
     return 0
 
 
@@ -327,6 +402,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _command_stats,
         "generate": _command_generate,
         "serve-bench": _command_serve_bench,
+        "shard-bench": _command_shard_bench,
     }
     return handlers[args.command](args)
 

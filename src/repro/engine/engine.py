@@ -153,8 +153,12 @@ class Engine:
         runs the tiled SpMM schedule.  The engine translates seeds and
         results at the boundary, so callers keep using original node ids
         throughout.  Requires ``graph`` (an already-preprocessed method
-        is bound to its node ordering).  ``None`` (default) serves in the
-        input ordering.
+        is bound to its node ordering).  A caller-built
+        :class:`~repro.kernels.LocalityReordering` over ``graph`` is
+        accepted too — :class:`repro.sharding.Router` passes the
+        community-aligned ordering it derives from
+        :func:`~repro.graph.partition.partition_graph` this way.
+        ``None`` (default) serves in the input ordering.
     stream_block:
         Column-block width of the streamed top-k path (default 128).
         :meth:`serve` always scores at most this many seeds at a time,
@@ -209,10 +213,13 @@ class Engine:
             raise ParameterError(
                 "pass either a shared cache or cache_size, not both"
             )
-        if reorder not in (None, "slashburn"):
+        if reorder is not None and not (
+            reorder == "slashburn"
+            or isinstance(reorder, kernels.LocalityReordering)
+        ):
             raise ParameterError(
-                f"unknown reorder strategy {reorder!r}; "
-                "choose 'slashburn' or None"
+                f"unknown reorder strategy {reorder!r}; choose 'slashburn', "
+                "a LocalityReordering instance, or None"
             )
         if memory_budget_bytes is not None and memory_budget_bytes < 1:
             raise ParameterError("memory_budget_bytes must be positive")
@@ -253,7 +260,18 @@ class Engine:
                     "reorder requires the graph (a preprocessed method is "
                     "already bound to its node ordering)"
                 )
-            self._reordering = kernels.locality_reordering(graph)
+            if isinstance(reorder, kernels.LocalityReordering):
+                # A caller-built ordering (e.g. the community-aligned one
+                # repro.sharding derives from partition_graph) — it must
+                # be a relabeling of this very graph.
+                if reorder.to_original.size != graph.num_nodes:
+                    raise ParameterError(
+                        f"reordering covers {reorder.to_original.size} "
+                        f"nodes but the graph has {graph.num_nodes}"
+                    )
+                self._reordering = reorder
+            else:
+                self._reordering = kernels.locality_reordering(graph)
         self._original_graph = graph
         serving_graph = (
             self._reordering.graph if self._reordering is not None else graph
@@ -418,6 +436,77 @@ class Engine:
         clone._workspace = kernels.Workspace()
         clone._lock = threading.RLock()
         return clone
+
+    def shard(
+        self,
+        num_shards: int | None = None,
+        plan=None,
+        panel_cols: int | None = None,
+        start_method: str | None = None,
+        step_timeout: float | None = None,
+        warm: bool = True,
+    ):
+        """A serving replica whose online phase runs across shard
+        worker **processes** — the multi-process sibling of
+        :meth:`replicate`.
+
+        Like a replica, the sharded engine shares every read-only piece
+        of this one (preprocessed method state, graph, reordering, score
+        cache) and owns its own scratch, lock, and counters.  Unlike a
+        replica, its method is re-bound to a
+        :class:`~repro.sharding.ShardedOperator`: the serving operator's
+        rows are published into shared memory once, ``num_shards``
+        worker processes each map one row stripe zero-copy, and every
+        iterate sweep of the online phase is computed stripe-parallel
+        across them — escaping the GIL entirely.  Results are **bitwise
+        identical** to this engine's (row stripes change the execution
+        schedule, never the per-row arithmetic).
+
+        Parameters
+        ----------
+        num_shards:
+            Worker-process count (default 2; ignored when ``plan`` fixes
+            it).
+        plan:
+            Explicit :class:`~repro.sharding.ShardPlan`.  Default: cut
+            on this engine's reordering (hub band pinned to shard 0,
+            spoke shards closed on community-block starts) when one is
+            active, else equal stripes.
+        panel_cols:
+            Column capacity of the shared iterate panels; wider operands
+            are chunked (bitwise neutral).
+        start_method:
+            ``multiprocessing`` start method override.
+        step_timeout:
+            Seconds to wait on any worker before declaring the
+            deployment wedged.
+        warm:
+            Run one throwaway sweep before returning (default).
+
+        Returns
+        -------
+        repro.sharding.ShardedEngine
+            Close it (or use ``with``) to stop the workers and unlink
+            the shared-memory segments.
+        """
+        # Runtime import: repro.sharding builds on repro.engine.
+        from repro.sharding.engine import shard_engine
+        from repro.sharding.store import DEFAULT_PANEL_COLS
+        from repro.sharding.worker import DEFAULT_STEP_TIMEOUT
+
+        return shard_engine(
+            self,
+            num_shards=num_shards,
+            plan=plan,
+            panel_cols=(
+                DEFAULT_PANEL_COLS if panel_cols is None else panel_cols
+            ),
+            start_method=start_method,
+            step_timeout=(
+                DEFAULT_STEP_TIMEOUT if step_timeout is None else step_timeout
+            ),
+            warm=warm,
+        )
 
     # -- the online phase ------------------------------------------------------
 

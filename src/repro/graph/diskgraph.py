@@ -13,6 +13,15 @@ computation — ``TPA.preprocess(disk_graph)`` and ``TPA.query`` work
 unchanged.  Resident memory is ``O(n)`` for the iteration vectors plus one
 stripe of edges, instead of ``O(n + m)``.
 
+Each stripe is applied through :func:`repro.kernels.spmv` /
+:func:`repro.kernels.spmm` (the PR 2 rule: no iterate loop lives outside
+the kernel layer), so the disk-backed substrate computes every output row
+with exactly the arithmetic the in-memory :class:`Graph` uses — including
+the pre-scaled decayed operator — and the two substrates agree bitwise.
+Iteration vectors come from a retained :class:`~repro.kernels.Workspace`
+(two alternating buffers), so a CPI sweep over a disk graph allocates
+nothing per step beyond the streamed stripe itself.
+
 Example
 -------
 >>> from repro.graph import community_graph
@@ -32,7 +41,9 @@ import os
 from pathlib import Path
 
 import numpy as np
+import scipy.sparse as sp
 
+from repro import kernels
 from repro.exceptions import GraphFormatError, ParameterError
 from repro.graph.graph import Graph
 
@@ -72,6 +83,11 @@ class DiskGraph:
         self._dangling = (
             np.load(dangling_path) if dangling_path.exists() else np.empty(0, np.int64)
         )
+        # Retained iteration vectors: propagate() alternates between the
+        # two buffers of this pair so repeated sweeps (CPI, PageRank)
+        # reuse memory instead of allocating one (n,)/(n, B) result per
+        # step.  Streamed stripes stay transient by design.
+        self._workspace = kernels.Workspace()
 
     # -- construction -------------------------------------------------------------
 
@@ -148,66 +164,128 @@ class DiskGraph:
     def dangling_policy(self) -> str:
         return self._dangling_policy
 
-    def propagate(self, x: np.ndarray) -> np.ndarray:
-        """``Ã^T x`` with one stripe of edges resident at a time.
+    def stripe_rows(self, stripe: int) -> tuple[int, int]:
+        """Row range ``[begin, end)`` of ``Ã^T`` covered by ``stripe``."""
+        if not 0 <= stripe < self._num_stripes:
+            raise ParameterError(
+                f"stripe index must lie in [0, {self._num_stripes - 1}]"
+            )
+        begin = stripe * self._rows_per_stripe
+        return begin, min(begin + self._rows_per_stripe, self._n)
 
-        ``x`` may be a length-``n`` vector or an ``(n, B)`` matrix whose
-        columns propagate independently (the batched online phase).
+    def stripe_operator(self, stripe: int) -> sp.csr_array:
+        """Load one stripe of ``Ã^T`` as a ``(rows, n)`` CSR matrix.
+
+        The arrays come straight from the stripe files (row data in
+        stored order, float64), so applying the stripe with
+        :func:`repro.kernels.spmv`/``spmm`` reproduces the in-memory
+        operator's rows bit for bit.  :meth:`propagate` streams these;
+        :class:`repro.sharding.ShardStore` re-slices them into
+        shard-aligned row stripes for worker processes.
+        """
+        begin, end = self.stripe_rows(stripe)
+        indptr = np.load(self._dir / f"stripe_{stripe}_indptr.npy")
+        indices = np.load(self._dir / f"stripe_{stripe}_indices.npy")
+        data = np.load(self._dir / f"stripe_{stripe}_data.npy")
+        return sp.csr_array(
+            (data, indices, indptr), shape=(end - begin, self._n)
+        )
+
+    def _output_buffer(
+        self, x: np.ndarray, out: np.ndarray | None, dtype: np.dtype
+    ) -> np.ndarray:
+        """The result buffer for one propagate pass.
+
+        Honors a caller-supplied ``out`` when it is usable (right shape
+        and dtype, C-contiguous, not aliasing the operand — the same
+        contract :meth:`Graph.propagate_decayed` applies), otherwise
+        draws one of the two retained workspace buffers, picking
+        whichever does not alias ``x`` so back-to-back sweeps can feed
+        each result into the next call.
+        """
+        if out is not None and (
+            out.shape == x.shape
+            and out.dtype == dtype
+            and out.flags.c_contiguous
+            and not np.shares_memory(out, x)
+        ):
+            return out
+        first, second = self._workspace.pair("propagate.out", x.shape, dtype)
+        return second if np.shares_memory(first, x) else first
+
+    def _stripe_apply(
+        self,
+        x: np.ndarray,
+        decay: float | None,
+        out: np.ndarray | None,
+    ) -> np.ndarray:
+        """``(decay ·) Ã^T x`` with one stripe of edges resident at a time.
+
+        Each stripe is one :func:`repro.kernels.spmv`/``spmm`` call into
+        the matching row slice of the output buffer.  ``decay`` is folded
+        into the stripe's value array before the product — scaled (then
+        cast, under the float32 policy) exactly as
+        :meth:`Graph._operator_for` pre-scales the in-memory operator —
+        so disk-backed and in-memory propagation agree bitwise.
         """
         if x.shape[0] != self._n or x.ndim not in (1, 2):
             raise ParameterError(
                 f"operand shape {x.shape} does not match n={self._n}"
             )
-        y = np.empty(x.shape, dtype=np.float64)
+        dtype = np.dtype(
+            np.float32 if x.dtype == np.float32 else np.float64
+        )
+        if x.dtype != dtype:
+            x = x.astype(dtype)
+        x = np.ascontiguousarray(x)
+        y = self._output_buffer(x, out, dtype)
+        apply_stripe = kernels.spmv if x.ndim == 1 else kernels.spmm
         for stripe in range(self._num_stripes):
-            begin = stripe * self._rows_per_stripe
-            end = min(begin + self._rows_per_stripe, self._n)
-            indptr = np.load(self._dir / f"stripe_{stripe}_indptr.npy")
-            indices = np.load(self._dir / f"stripe_{stripe}_indices.npy")
-            data = np.load(self._dir / f"stripe_{stripe}_data.npy")
-            # Row-stripe SpMV without building a scipy matrix: segment sums
-            # of data * x[indices] over the indptr boundaries.
-            if x.ndim == 1:
-                products = data * x[indices]
-                pad = np.zeros(1)
-            else:
-                products = data[:, np.newaxis] * x[indices]
-                pad = np.zeros((1, x.shape[1]))
-            segment = np.zeros((end - begin,) + x.shape[1:])
-            if products.size:
-                # reduceat quirks: an empty segment repeats a neighbouring
-                # value, and a start index == len(products) (trailing empty
-                # rows) is out of bounds.  Padding one zero row keeps every
-                # start index valid without disturbing any real segment
-                # boundary; empty segments are masked out afterwards.
-                padded = np.concatenate([products, pad], axis=0)
-                sums = np.add.reduceat(padded, indptr[:-1], axis=0)
-                nonempty = np.diff(indptr) > 0
-                segment[nonempty] = sums[nonempty]
-            y[begin:end] = segment
+            begin, end = self.stripe_rows(stripe)
+            block = self.stripe_operator(stripe)
+            scaled = sp.csr_array(
+                (kernels.scaled_values(block.data, decay, dtype),
+                 block.indices, block.indptr),
+                shape=block.shape,
+            )
+            apply_stripe(scaled, x, out=y[begin:end])
         if self._dangling.size and self._dangling_policy == "uniform":
             leaked = x[self._dangling].sum(axis=0)
             if np.any(leaked != 0.0):
-                y += leaked / self._n
+                if decay is None:
+                    y += leaked / self._n
+                else:
+                    y += (decay / self._n) * leaked
         return y
+
+    def propagate(self, x: np.ndarray) -> np.ndarray:
+        """``Ã^T x`` with one stripe of edges resident at a time.
+
+        ``x`` may be a length-``n`` vector or an ``(n, B)`` matrix whose
+        columns propagate independently (the batched online phase).  The
+        result lives in a retained workspace buffer — alternating between
+        two, so passing a previous result back in is safe — and is
+        overwritten by a later call; copy it to keep it.
+        """
+        return self._stripe_apply(x, None, None)
 
     def propagate_decayed(
         self, x: np.ndarray, decay: float, out: np.ndarray | None = None
     ) -> np.ndarray:
         """``decay · Ã^T x`` — the fused step in-memory graphs provide.
 
-        The disk-backed substrate has no cached pre-scaled operator (its
-        data lives in stripes on disk), so this simply post-scales
-        :meth:`propagate`; ``out`` is accepted for interface compatibility
-        and ignored.
+        The decay is folded into each streamed stripe's value array
+        before the product, matching :meth:`Graph.propagate_decayed`'s
+        pre-scaled operator bit for bit.  ``out`` optionally supplies the
+        result buffer (same contract as the in-memory graph); without
+        one, a retained workspace buffer is used.
         """
-        y = self.propagate(x)
-        y *= decay
-        return y
+        return self._stripe_apply(x, float(decay), out)
 
     def resident_bytes(self) -> int:
         """Peak extra memory a propagate call needs beyond the vectors:
-        one stripe of (indptr, indices, data)."""
+        one stripe of (indptr, indices, data) plus the retained
+        iteration buffers."""
         peak = 0
         for stripe in range(self._num_stripes):
             total = 0
@@ -215,7 +293,7 @@ class DiskGraph:
                 file = self._dir / f"stripe_{stripe}_{part}.npy"
                 total += file.stat().st_size
             peak = max(peak, total)
-        return peak
+        return peak + self._workspace.nbytes()
 
     def disk_bytes(self) -> int:
         """Total on-disk footprint of all stripe files."""

@@ -310,9 +310,8 @@ class Graph:
         operator = self._operator_cache.get(key)
         if operator is None:
             base = self._transition_t
-            data = base.data if decay is None else base.data * decay
             operator = sp.csr_array(
-                (data.astype(dtype, copy=data is base.data),
+                (kernels.scaled_values(base.data, decay, dtype),
                  base.indices, base.indptr),
                 shape=base.shape,
             )

@@ -7,6 +7,18 @@ this module provides a dependency-free substitute: size-capped label
 propagation on the symmetrized graph with a deterministic tie-break,
 followed by a merge/split pass that enforces minimum and maximum partition
 sizes so the dense per-block inverses stay tractable.
+
+Determinism contract
+--------------------
+Every random choice — the initial label assignment, the sweep order, and
+the member selection of the merge/split pass — draws from one
+:class:`numpy.random.Generator` seeded by the ``seed`` argument, and no
+step consults process-dependent state (global NumPy RNG, hash order,
+address order).  Two processes given the same graph and seed therefore
+produce identical labels, which is what lets
+:mod:`repro.sharding` cut shard boundaries on partition frontiers and
+have every worker process agree on them (the test suite runs the
+cross-process regression).
 """
 
 from __future__ import annotations
@@ -16,7 +28,7 @@ import numpy as np
 from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 
-__all__ = ["partition_graph"]
+__all__ = ["partition_graph", "partition_order"]
 
 
 def partition_graph(
@@ -37,7 +49,10 @@ def partition_graph(
     iterations:
         Label-propagation sweeps before balancing.
     seed:
-        RNG seed for the initial label assignment.
+        Seed (or an explicit :class:`numpy.random.Generator`) for every
+        random choice the pass makes — the initial labels, the sweep
+        order, *and* the merge/split rebalancing.  Equal seeds yield
+        identical labels in any process (see the module docstring).
 
     Returns
     -------
@@ -78,15 +93,23 @@ def partition_graph(
         if not changed:
             break
 
-    return _rebalance(labels, num_partitions, n)
+    return _rebalance(labels, num_partitions, n, rng)
 
 
-def _rebalance(labels: np.ndarray, num_partitions: int, n: int) -> np.ndarray:
+def _rebalance(
+    labels: np.ndarray,
+    num_partitions: int,
+    n: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
     """Enforce bounded partition sizes and exactly ``num_partitions`` labels.
 
     Label propagation tends to collapse into few giant labels; this pass
     splits any partition larger than ``2 * ceil(n / num_partitions)`` and
     refills empty labels so downstream dense block inverses stay small.
+    Which members of an oversized partition move is drawn from ``rng`` —
+    the same generator that seeded the propagation — so the whole pass
+    stays a pure function of ``(graph, seed)``.
     """
     target = int(np.ceil(n / num_partitions))
     max_size = max(1, 2 * target)
@@ -97,7 +120,7 @@ def _rebalance(labels: np.ndarray, num_partitions: int, n: int) -> np.ndarray:
 
     for part in range(num_partitions):
         while counts[part] > max_size:
-            members = np.flatnonzero(labels == part)
+            members = rng.permutation(np.flatnonzero(labels == part))
             move = members[: counts[part] - max_size]
             if empty:
                 dest = empty.pop()
@@ -119,3 +142,33 @@ def _rebalance(labels: np.ndarray, num_partitions: int, n: int) -> np.ndarray:
             counts[donor] -= 1
             counts[part] += 1
     return labels
+
+
+def partition_order(labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Node ordering that makes each partition a contiguous row range.
+
+    Parameters
+    ----------
+    labels:
+        Length-``n`` partition labels (e.g. from :func:`partition_graph`).
+
+    Returns
+    -------
+    tuple
+        ``(permutation, starts)``: ``permutation`` lists old node ids in
+        their new order (nodes sorted stably by label, so relabeling a
+        graph with :meth:`~repro.graph.graph.Graph.permute` groups each
+        community into one block), and ``starts`` holds the first new id
+        of every non-empty partition, ascending — the natural cut points
+        for community-aligned row shards and tiles.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1 or labels.size == 0:
+        raise ParameterError("labels must be a non-empty 1-D array")
+    permutation = np.argsort(labels, kind="stable").astype(np.int64)
+    ordered = labels[permutation]
+    firsts = np.flatnonzero(np.diff(ordered) != 0) + 1
+    starts = np.concatenate(
+        [np.zeros(1, dtype=np.int64), firsts.astype(np.int64)]
+    )
+    return permutation, starts

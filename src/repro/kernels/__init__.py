@@ -49,7 +49,8 @@ below typical recall@k sensitivity.  Use float64 (default) when scores
 feed error-bound experiments (Table III) or convergence studies with
 ``tol < 1e-6`` — a float32 iterate cannot certify residuals near machine
 epsilon.  Caches must key on :func:`cache_token`, which names the active
-``backend:dtype`` pair; the Engine's LRU does.
+backend, tile configuration, shard annotation, and compute dtype; the
+Engine's LRU does.
 
 Benchmark trajectory
 --------------------
@@ -74,6 +75,8 @@ from repro.kernels.backend import (
     numba_available,
     set_backend,
     set_compute_dtype,
+    set_shard_annotation,
+    shard_annotation,
     _backend_module,
 )
 from repro.kernels.reorder import LocalityReordering, locality_reordering
@@ -91,6 +94,7 @@ __all__ = [
     "spmv",
     "spmm",
     "spmm_tiled",
+    "scaled_values",
     "select_top_k",
     "select_top_k_many",
     "available_backends",
@@ -100,6 +104,8 @@ __all__ = [
     "compute_dtype",
     "set_compute_dtype",
     "cache_token",
+    "shard_annotation",
+    "set_shard_annotation",
     "Workspace",
     "LocalityReordering",
     "locality_reordering",
@@ -111,6 +117,28 @@ __all__ = [
     "forward_push_loop",
     "backward_push_loop",
 ]
+
+
+def scaled_values(
+    data: np.ndarray, decay: float | None, dtype
+) -> np.ndarray:
+    """The operator value array, decay-folded and cast: **scale, then
+    cast**.
+
+    This exact operation order is the bitwise contract every decayed
+    operator copy in the codebase shares — the in-memory
+    :meth:`Graph._operator_for` cache, the :class:`DiskGraph` streamed
+    stripes, and the shard workers' scaled stripes all build their
+    values through this one helper, so their products agree bit for
+    bit.  ``decay=None`` means unscaled; the input array is returned
+    as-is when no scaling or cast is needed, otherwise exactly one new
+    array is produced.
+    """
+    scaled = data if decay is None else data * decay
+    dtype = np.dtype(dtype)
+    if scaled.dtype != dtype:
+        scaled = scaled.astype(dtype, copy=scaled is data)
+    return scaled
 
 
 def _prepare_operand(matrix, x: np.ndarray, ndim: int) -> np.ndarray:

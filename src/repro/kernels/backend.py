@@ -42,6 +42,8 @@ __all__ = [
     "compute_dtype",
     "set_compute_dtype",
     "cache_token",
+    "shard_annotation",
+    "set_shard_annotation",
 ]
 
 _BACKEND_NAMES = ("numba", "numpy")
@@ -170,20 +172,57 @@ def set_compute_dtype(dtype: str | type | np.dtype) -> type:
     return previous
 
 
+#: Shard annotation of this process, or ``None`` outside shard workers.
+_shard_annotation: str | None = None
+
+
+def shard_annotation() -> str | None:
+    """This process's shard annotation (``None`` in ordinary processes).
+
+    :class:`repro.sharding.ShardWorker` processes stamp themselves with
+    ``"<shard>/<num_shards>"`` at startup, so every kernel product — and
+    every :func:`cache_token` — computed inside a worker names the row
+    stripe it ran on.
+    """
+    return _shard_annotation
+
+
+def set_shard_annotation(tag: str | None) -> str | None:
+    """Set the process-wide shard annotation; returns the previous one.
+
+    Sharded execution is bitwise identical to the single-process product
+    by contract (row stripes change the schedule, not the per-row
+    arithmetic), so the annotation — like the tile component — records
+    *how* results were produced rather than gating their reuse.
+    """
+    global _shard_annotation
+    previous = _shard_annotation
+    _shard_annotation = None if tag is None else str(tag)
+    return previous
+
+
 def cache_token() -> str:
     """Opaque token identifying the numeric configuration of results.
 
     Two runs with equal tokens compute with the same backend, tiling
-    configuration, and dtype, so their score vectors are interchangeable;
-    score caches (e.g. the :class:`~repro.engine.Engine` LRU) must key on
-    this so a float32 run never serves cached float64 vectors (or vice
-    versa).  The tile component (see :mod:`repro.kernels.tiling`) keeps
-    caches honest about *how* results were produced even though tiled and
-    untiled products are bitwise identical by contract.
+    configuration, sharding, and dtype, so their score vectors are
+    interchangeable; score caches (e.g. the
+    :class:`~repro.engine.Engine` LRU) must key on this so a float32 run
+    never serves cached float64 vectors (or vice versa).  The tile and
+    shard components (see :mod:`repro.kernels.tiling` and
+    :mod:`repro.sharding`) keep caches honest about *how* results were
+    produced even though tiled, sharded, and plain products are bitwise
+    identical by contract.
     """
     from repro.kernels.tiling import tile_token
 
-    return f"{_active_backend}:{tile_token()}:{np.dtype(_compute_dtype).name}"
+    shard = "shard-none" if _shard_annotation is None else (
+        f"shard-{_shard_annotation}"
+    )
+    return (
+        f"{_active_backend}:{tile_token()}:{shard}:"
+        f"{np.dtype(_compute_dtype).name}"
+    )
 
 
 _numba_module: ModuleType | None = None

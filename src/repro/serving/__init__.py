@@ -38,7 +38,13 @@ Quickstart::
 
 from repro.serving.cache import ScoreCache
 from repro.serving.loadgen import LoadReport, run_closed_loop
-from repro.serving.metrics import LatencyStats, percentiles
+from repro.serving.metrics import (
+    REPORT_SCHEMA,
+    LatencyStats,
+    bench_report,
+    latency_histogram,
+    percentiles,
+)
 from repro.serving.scheduler import PendingRequest, Scheduler
 from repro.serving.server import Server
 
@@ -49,6 +55,9 @@ __all__ = [
     "Server",
     "LatencyStats",
     "percentiles",
+    "latency_histogram",
+    "bench_report",
+    "REPORT_SCHEMA",
     "LoadReport",
     "run_closed_loop",
 ]

@@ -25,7 +25,6 @@ import numpy as np
 from repro.engine import QueryRequest
 from repro.exceptions import ParameterError, ServerOverloaded
 from repro.serving.metrics import percentiles
-from repro.serving.server import Server
 
 __all__ = ["LoadReport", "run_closed_loop"]
 
@@ -65,7 +64,7 @@ class LoadReport:
 
 
 def run_closed_loop(
-    server: Server,
+    server,
     seeds: Sequence[int] | np.ndarray,
     k: int | None = 10,
     clients: int = 4,
@@ -74,6 +73,12 @@ def run_closed_loop(
     keep_samples: bool = True,
 ) -> LoadReport:
     """Drive ``server`` with ``clients`` closed-loop threads.
+
+    ``server`` is any front end exposing the scheduler surface —
+    ``submit(QueryRequest) -> Future`` raising
+    :class:`~repro.exceptions.ServerOverloaded` under backpressure, plus
+    ``stats()``: a :class:`~repro.serving.Server` or a
+    :class:`repro.sharding.Router`.
 
     Client ``c`` issues request ``i`` for seed ``seeds[(c * stride + i)
     % len(seeds)]`` — deterministic, evenly spread over the seed set so

@@ -10,6 +10,14 @@ opposite fixes (more workers / bigger ``max_batch`` vs kernel work).
 :class:`LatencyStats` is a thread-safe recorder of those samples with
 percentile snapshots (p50/p95/p99), bounded to the most recent
 ``capacity`` requests so a long-lived server's metrics stay O(1).
+
+This module also owns the **one** report format every serving benchmark
+emits: ``serve-bench`` (thread-pool :class:`~repro.serving.Server`) and
+``shard-bench`` (multi-process :class:`repro.sharding.Router`) both
+render :func:`latency_histogram` and serialize :func:`bench_report`
+JSON, so the two deployments' reports are directly diffable.  The
+``schema`` field is versioned — consumers (CI artifact tooling, trend
+scripts) should check it before reading anything else.
 """
 
 from __future__ import annotations
@@ -21,7 +29,73 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["LatencyStats", "percentiles"]
+__all__ = [
+    "LatencyStats",
+    "percentiles",
+    "latency_histogram",
+    "bench_report",
+    "REPORT_SCHEMA",
+]
+
+#: Version tag of the serving benchmark report format.  Bump when a
+#: field changes meaning; additions are backward compatible.
+REPORT_SCHEMA = "repro-serving-report/1"
+
+
+def latency_histogram(
+    latencies_ms: Sequence[float] | np.ndarray,
+    buckets: int = 10,
+    width: int = 40,
+) -> str:
+    """An ASCII histogram of client-observed latencies, log-spaced —
+    serving latency distributions are long-tailed, so linear buckets
+    would pile everything into the first bar."""
+    samples = np.asarray(latencies_ms, dtype=np.float64)
+    if samples.size == 0:
+        # Every request failed: still print the report (the error
+        # counts below are exactly what the user needs to see).
+        return "latency histogram (ms)\n  (no completed requests)"
+    low = max(samples.min(), 1e-3)
+    high = max(samples.max(), low * 1.001)
+    edges = np.geomspace(low, high, buckets + 1)
+    edges[0] = 0.0  # catch everything below the measured floor
+    counts, _ = np.histogram(samples, bins=edges)
+    peak = max(int(counts.max()), 1)
+    lines = ["latency histogram (ms)"]
+    for index, count in enumerate(counts.tolist()):
+        bar = "#" * max(1 if count else 0, round(width * count / peak))
+        lines.append(
+            f"  {edges[index]:8.2f} - {edges[index + 1]:8.2f}  "
+            f"{bar:<{width}} {count}"
+        )
+    return "\n".join(lines)
+
+
+def bench_report(report, *, kind: str, config: dict) -> dict:
+    """The canonical JSON document of one serving benchmark run.
+
+    Parameters
+    ----------
+    report:
+        A :class:`~repro.serving.loadgen.LoadReport`.
+    kind:
+        Which deployment produced it: ``"serve-bench"`` (threaded
+        server) or ``"shard-bench"`` (sharded router).
+    config:
+        The benchmark's knob settings (workers/shards, batch limits,
+        graph shape, ...), embedded verbatim under ``"config"``.
+
+    Returns
+    -------
+    dict
+        ``{"schema": REPORT_SCHEMA, "kind": ..., "config": {...},
+        **report.to_dict()}`` — one flat, versioned document both CLI
+        benchmarks write and CI uploads.
+    """
+    document = {"schema": REPORT_SCHEMA, "kind": str(kind),
+                "config": dict(config)}
+    document.update(report.to_dict())
+    return document
 
 #: Default sample-window size: percentiles reflect the most recent
 #: requests, and memory stays bounded on a long-lived server.

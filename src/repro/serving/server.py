@@ -47,7 +47,51 @@ from repro.serving.cache import ScoreCache
 from repro.serving.metrics import LatencyStats
 from repro.serving.scheduler import PendingRequest, Scheduler
 
-__all__ = ["Server"]
+__all__ = ["Server", "dispatch_batch", "resolve_future"]
+
+
+def resolve_future(future: "Future", result=None, error=None) -> None:
+    """Fulfil one client future, tolerating a concurrent ``cancel()`` —
+    a client that timed out and cancelled between our cancelled() check
+    and the set would otherwise raise ``InvalidStateError`` here and
+    silently kill the worker thread."""
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass  # the client cancelled; nobody is waiting for this one
+
+
+def dispatch_batch(
+    engine: Engine,
+    metrics: LatencyStats,
+    batch: Sequence[PendingRequest],
+) -> None:
+    """Run one micro-batch on ``engine`` and fulfil its futures.
+
+    A failing batch fails every member's future — clients see the
+    exception, the dispatching worker survives.  Shared by
+    :class:`Server`'s worker threads and the
+    :class:`repro.sharding.Router`'s dispatcher.
+    """
+    dispatched_at = time.perf_counter()
+    try:
+        results = engine.batch([pending.request for pending in batch])
+    except BaseException as error:  # noqa: BLE001 - forwarded to clients
+        for pending in batch:
+            resolve_future(pending.future, error=error)
+        return
+    finished_at = time.perf_counter()
+    compute_share = (finished_at - dispatched_at) / len(batch)
+    for pending, result in zip(batch, results):
+        metrics.record(
+            queue_seconds=dispatched_at - pending.submitted_at,
+            compute_seconds=compute_share,
+            total_seconds=finished_at - pending.submitted_at,
+        )
+        resolve_future(pending.future, result=result)
 
 
 class Server:
@@ -299,48 +343,7 @@ class Server:
             batch = scheduler.next_batch()
             if batch is None:
                 return  # closed and drained
-            self._dispatch(engine, metrics, batch)
-
-    @staticmethod
-    def _resolve_future(future: "Future", result=None, error=None) -> None:
-        """Fulfil one client future, tolerating a concurrent ``cancel()``
-        — a client that timed out and cancelled between our cancelled()
-        check and the set would otherwise raise ``InvalidStateError``
-        here and silently kill the worker thread."""
-        try:
-            if error is not None:
-                future.set_exception(error)
-            else:
-                future.set_result(result)
-        except InvalidStateError:
-            pass  # the client cancelled; nobody is waiting for this one
-
-    @classmethod
-    def _dispatch(
-        cls,
-        engine: Engine,
-        metrics: LatencyStats,
-        batch: Sequence[PendingRequest],
-    ) -> None:
-        """Run one micro-batch on this worker's replica and fulfil its
-        futures.  A failing batch fails every member's future — clients
-        see the exception, the worker survives."""
-        dispatched_at = time.perf_counter()
-        try:
-            results = engine.batch([pending.request for pending in batch])
-        except BaseException as error:  # noqa: BLE001 - forwarded to clients
-            for pending in batch:
-                cls._resolve_future(pending.future, error=error)
-            return
-        finished_at = time.perf_counter()
-        compute_share = (finished_at - dispatched_at) / len(batch)
-        for pending, result in zip(batch, results):
-            metrics.record(
-                queue_seconds=dispatched_at - pending.submitted_at,
-                compute_seconds=compute_share,
-                total_seconds=finished_at - pending.submitted_at,
-            )
-            cls._resolve_future(pending.future, result=result)
+            dispatch_batch(engine, metrics, batch)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,318 @@
+"""The sharded propagation operator: a graph-protocol facade over worker
+processes.
+
+:class:`ShardedOperator` implements exactly the substrate surface the
+iterate loops consume — ``num_nodes``, ``propagate``,
+``propagate_decayed`` — but executes every product as a **distributed
+row-stripe sweep**: the operand is scattered into the shared ``X``
+panel, every :class:`~repro.sharding.ShardWorker` computes its own row
+stripe of the result with a block-local :func:`repro.kernels.spmm`, and
+the stripes are gathered back from ``Y`` and reduced (concatenated in
+row order; the dangling-mass correction is applied router-side exactly
+as the underlying substrate applies it).
+
+Because each output row is produced by the same kernel arithmetic in the
+same accumulation order as the single-process product, a sweep through
+the sharded operator is **bitwise identical** to one through the source
+graph — which is what lets an unmodified
+:class:`~repro.method.PPRMethod` online phase (TPA's family sweep, CPI,
+any power-iteration baseline) run against it and reproduce its serial
+scores exactly.
+
+Structural attributes the online phases consult (``transition``,
+``adjacency``, ``out_neighbors``, ...) delegate to the source graph, so
+sparse-iterate shortcuts keep working; only the propagation itself is
+distributed.  Operands wider than the shared panels are processed in
+column chunks — columns propagate independently, so chunking is bitwise
+neutral.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Sequence
+
+import numpy as np
+
+from repro import kernels
+from repro.exceptions import ParameterError
+from repro.sharding.plan import ShardPlan
+from repro.sharding.store import DEFAULT_PANEL_COLS, ShardStore
+from repro.sharding.worker import DEFAULT_STEP_TIMEOUT, ShardWorker
+
+__all__ = ["ShardedOperator"]
+
+
+def _default_start_method() -> str:
+    """``fork`` where safe, else ``spawn``.
+
+    Numba's threading layers are not reliably fork-safe once the parent
+    has run a parallel region (which preprocessing always has), so the
+    compiled backend defaults to ``spawn`` — its on-disk JIT cache keeps
+    the worker warm-up cheap.  The NumPy backend forks, which is fast
+    and inherits nothing stateful.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if kernels.get_backend() == "numba":
+        return "spawn" if "spawn" in methods else methods[0]
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardedOperator:
+    """Distribute a substrate's propagation across shard worker processes.
+
+    Parameters
+    ----------
+    graph:
+        Source substrate: an in-memory :class:`~repro.graph.graph.Graph`
+        or any duck-typed operator exposing ``transition_transpose`` or
+        DiskGraph-style stripes.  Its rows are published into shared
+        memory once, at construction.
+    plan:
+        The :class:`ShardPlan` assigning row stripes to workers.
+    panel_cols:
+        Column capacity of the shared iterate panels (wider operands are
+        chunked).
+    start_method:
+        ``multiprocessing`` start method; default picks ``spawn`` under
+        the Numba backend and ``fork`` otherwise.
+    step_timeout:
+        Seconds to wait for any worker's step reply before declaring the
+        deployment wedged.
+    warm:
+        Run one throwaway sweep at construction so workers fault in
+        their stripe mappings (and JIT-compile kernels) before traffic.
+    """
+
+    def __init__(
+        self,
+        graph,
+        plan: ShardPlan,
+        panel_cols: int = DEFAULT_PANEL_COLS,
+        start_method: str | None = None,
+        step_timeout: float = DEFAULT_STEP_TIMEOUT,
+        warm: bool = True,
+    ):
+        if plan.num_rows != graph.num_nodes:
+            raise ParameterError(
+                f"plan covers {plan.num_rows} rows but the graph has "
+                f"{graph.num_nodes}"
+            )
+        self._source = graph
+        self._plan = plan
+        self._n = int(graph.num_nodes)
+        self._step_timeout = float(step_timeout)
+        self._steps = 0
+        self._closed = False
+        # Dangling data is copied out of the source so the correction
+        # never touches it mid-sweep (and DiskGraph sources stay cold).
+        dangling = getattr(graph, "dangling_nodes", None)
+        self._dangling = (
+            np.array(dangling, dtype=np.int64)
+            if dangling is not None and len(dangling)
+            else np.empty(0, dtype=np.int64)
+        )
+        self._dangling_policy = getattr(graph, "dangling_policy", "error")
+        self._store = ShardStore.build(graph, plan, panel_cols=panel_cols)
+        method = (
+            start_method if start_method is not None
+            else _default_start_method()
+        )
+        context = multiprocessing.get_context(method)
+        backend = kernels.get_backend()
+        self._workers: list[ShardWorker] = []
+        try:
+            for spec in self._store.specs:
+                self._workers.append(
+                    ShardWorker(
+                        context, spec, self._store.segment_names,
+                        plan.num_shards, backend,
+                    )
+                )
+            for worker in self._workers:
+                worker.wait_ready(self._step_timeout)
+            if warm:
+                # Undecayed probe: warms the stripe mappings and JIT
+                # without leaving a needless decay-scaled data copy in
+                # every worker's stripe cache (decay=None shares the
+                # base arrays zero-copy).
+                self.propagate(np.zeros((self._n, 1)))
+        except BaseException:
+            self.close()
+            raise
+
+    # -- graph protocol --------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def dangling_nodes(self) -> np.ndarray:
+        return self._dangling
+
+    @property
+    def dangling_policy(self) -> str:
+        return self._dangling_policy
+
+    @property
+    def plan(self) -> ShardPlan:
+        return self._plan
+
+    @property
+    def source(self):
+        """The substrate whose operator the shards serve."""
+        return self._source
+
+    @property
+    def num_shards(self) -> int:
+        return self._plan.num_shards
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __getattr__(self, name: str):
+        # Structural delegation (adjacency, transition, out_neighbors,
+        # num_edges, ...): anything not about propagation belongs to the
+        # source substrate.  Underscored names never delegate — a missing
+        # internal is a bug here, not there.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._source, name)
+
+    def propagate(self, x: np.ndarray) -> np.ndarray:
+        """``Ã^T x`` via one distributed row-stripe sweep."""
+        return self._sweep(x, decay=None, out=None)
+
+    def propagate_decayed(
+        self, x: np.ndarray, decay: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``decay · Ã^T x`` via one distributed row-stripe sweep.
+
+        Workers fold ``decay`` into their stripe's value array exactly
+        as the in-memory graph pre-scales its operator, so the result is
+        bitwise identical to ``graph.propagate_decayed(x, decay)``.
+        """
+        return self._sweep(x, decay=float(decay), out=out)
+
+    # -- the distributed sweep -------------------------------------------------
+
+    def _sweep(
+        self,
+        x: np.ndarray,
+        decay: float | None,
+        out: np.ndarray | None,
+    ) -> np.ndarray:
+        if self._closed:
+            raise RuntimeError("sharded operator is closed")
+        x = np.asarray(x)
+        if x.shape[0] != self._n or x.ndim not in (1, 2):
+            raise ParameterError(
+                f"operand shape {x.shape} does not match n={self._n}"
+            )
+        dtype = np.dtype(np.float32 if x.dtype == np.float32 else np.float64)
+        if x.dtype != dtype:
+            x = x.astype(dtype)
+        if out is not None and (
+            out.shape != x.shape
+            or out.dtype != dtype
+            or not out.flags.c_contiguous
+            or np.shares_memory(out, x)
+        ):
+            out = None
+        if out is None:
+            out = np.empty(x.shape, dtype=dtype)
+
+        backend = kernels.get_backend()
+        if x.ndim == 1:
+            self._dispatch_chunk(x, out, 0, dtype, decay, backend)
+        else:
+            width = self._store.panel_cols
+            for start in range(0, x.shape[1], width):
+                stop = min(start + width, x.shape[1])
+                # Column slices go to the panel copy as-is: np.copyto
+                # handles the strided source, so no staging copy here.
+                self._dispatch_chunk(
+                    x[:, start:stop], out[:, start:stop],
+                    stop - start, dtype, decay, backend,
+                )
+        if self._dangling.size and self._dangling_policy == "uniform":
+            leaked = x[self._dangling].sum(axis=0)
+            if np.any(leaked != 0.0):
+                if decay is None:
+                    out += leaked / self._n
+                else:
+                    out += (decay / self._n) * leaked
+        return out
+
+    def _dispatch_chunk(
+        self,
+        x: np.ndarray,
+        out: np.ndarray,
+        ncols: int,
+        dtype: np.dtype,
+        decay: float | None,
+        backend: str,
+    ) -> None:
+        """Scatter one operand chunk, step every worker, gather stripes."""
+        panel_x = self._store.panel("x", ncols, dtype)
+        panel_y = self._store.panel("y", ncols, dtype)
+        np.copyto(panel_x, x)
+        for worker in self._workers:
+            worker.send_step(ncols, dtype, decay, backend)
+        for worker in self._workers:
+            worker.wait_ok(self._step_timeout)
+        np.copyto(out, panel_y)
+        self._steps += 1
+
+    # -- introspection / lifecycle ---------------------------------------------
+
+    def shard_stats(self) -> dict:
+        """Deployment shape plus sweep counters."""
+        return {
+            "num_shards": self.num_shards,
+            "shard_rows": [
+                list(self._plan.shard_rows(s)) for s in range(self.num_shards)
+            ],
+            "shard_nnz": [spec.nnz for spec in self._store.specs],
+            "shared_bytes": self._store.nbytes(),
+            "steps": self._steps,
+            "workers_alive": sum(
+                1 for worker in self._workers if worker.alive
+            ),
+        }
+
+    def workers(self) -> Sequence[ShardWorker]:
+        return tuple(self._workers)
+
+    def close(self) -> None:
+        """Stop every worker and unlink the shared segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.stop()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._workers = []
+        self._store.close()
+
+    def __enter__(self) -> "ShardedOperator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedOperator(n={self._n}, shards={self.num_shards}, "
+            f"closed={self._closed})"
+        )

@@ -1,0 +1,308 @@
+"""Shared-memory publication of shard CSR stripes and iterate panels.
+
+:class:`ShardStore` owns the ``multiprocessing.shared_memory`` segments
+behind a sharded deployment:
+
+* one **operator segment** holding every shard's CSR row stripe of the
+  propagation operator ``Ã^T`` (local ``indptr``, ``indices``, ``data``
+  back to back, 64-byte aligned) — workers map their stripe zero-copy;
+* two **iterate panels** ``X`` and ``Y`` sized for ``n × panel_cols``
+  float64 columns: the router scatters the current iterate into ``X``,
+  every worker reads all of ``X`` and writes only its own row stripe of
+  ``Y``, and the router gathers ``Y`` back.
+
+Stripes are built from an in-memory :class:`~repro.graph.graph.Graph`
+(row slices of ``transition_transpose``) or any substrate exposing
+``stripe_operator``/``num_stripes`` (e.g.
+:class:`~repro.graph.diskgraph.DiskGraph`, whose on-disk stripes are
+re-sliced to plan boundaries without ever materializing the full
+operator in one process).  Row data is copied verbatim — stored order,
+float64 — so a worker's :func:`repro.kernels.spmm` over its stripe
+reproduces the single-process product bit for bit.
+
+Lifecycle: the creating process owns the segments and **must** call
+:meth:`ShardStore.close` (routers and sharded engines do this from their
+own ``close()``), which unlinks every segment — nothing may remain in
+``/dev/shm`` afterwards, a guarantee the test suite checks.  Worker
+processes attach with :func:`attach_segment`, which unregisters the
+mapping from their resource tracker so a worker exit neither unlinks a
+live segment nor warns about one it never owned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ParameterError
+from repro.sharding.plan import ShardPlan
+
+__all__ = ["ShardStore", "StripeSpec", "attach_segment"]
+
+#: Alignment of every array within the operator segment; keeps each
+#: stripe's arrays on cache-line boundaries regardless of neighbors.
+_ALIGN = 64
+
+#: Default column capacity of the X/Y iterate panels.  Wider operands
+#: are processed in column chunks (bitwise neutral: columns propagate
+#: independently).
+DEFAULT_PANEL_COLS = 128
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class StripeSpec:
+    """Where one shard's CSR arrays live inside the operator segment.
+
+    Everything here is plain picklable data — it is the recipe a worker
+    process uses to rebuild zero-copy views over the shared segment.
+    """
+
+    shard: int
+    row_begin: int
+    row_end: int
+    num_cols: int
+    nnz: int
+    indptr_offset: int
+    indices_offset: int
+    data_offset: int
+    index_dtype: str
+    arrays: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_end - self.row_begin
+
+
+def attach_segment(
+    name: str, private_tracker: bool = False
+) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting ownership.
+
+    ``SharedMemory(name=...)`` registers the mapping with the attaching
+    process's resource tracker.  Shard workers — forked *or* spawned —
+    inherit the creating process's tracker, where the extra registration
+    is an idempotent no-op that :meth:`ShardStore.close`'s ``unlink``
+    clears; unregistering from a worker would instead erase the
+    creator's bookkeeping, so the default leaves it alone.  A genuinely
+    unrelated process (its own tracker) should pass
+    ``private_tracker=True`` so its tracker does not unlink the live
+    segment when it exits.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    if private_tracker:
+        try:  # pragma: no cover - tracker layout is an implementation detail
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+    return segment
+
+
+def _operator_stripes(graph, plan: ShardPlan):
+    """Yield ``(spec_rows, csr_stripe)`` per shard of ``plan``.
+
+    In-memory graphs slice ``transition_transpose`` directly; duck-typed
+    substrates with their own striping (``DiskGraph``) are re-sliced to
+    plan boundaries one stored stripe at a time.
+    """
+    operator = getattr(graph, "transition_transpose", None)
+    if operator is not None:
+        for shard in range(plan.num_shards):
+            begin, end = plan.shard_rows(shard)
+            yield (begin, end), operator[begin:end]
+        return
+    if not hasattr(graph, "stripe_operator"):
+        raise ParameterError(
+            f"{type(graph).__name__} exposes neither transition_transpose "
+            "nor stripe_operator; cannot build shard stripes"
+        )
+    for shard in range(plan.num_shards):
+        begin, end = plan.shard_rows(shard)
+        parts = []
+        for stored in range(graph.num_stripes):
+            s_begin, s_end = graph.stripe_rows(stored)
+            if s_end <= begin or s_begin >= end:
+                continue
+            block = graph.stripe_operator(stored)
+            lo = max(begin, s_begin) - s_begin
+            hi = min(end, s_end) - s_begin
+            parts.append(block[lo:hi])
+        stripe = (
+            parts[0]
+            if len(parts) == 1
+            else sp.vstack(parts, format="csr")
+        )
+        yield (begin, end), sp.csr_array(stripe)
+
+
+class ShardStore:
+    """Owner of the shared-memory segments of one sharded deployment.
+
+    Build with :meth:`ShardStore.build`; pass each worker its
+    :class:`StripeSpec` plus the segment names (all picklable), then
+    :meth:`close` exactly once when serving ends.
+    """
+
+    def __init__(
+        self,
+        operator_segment: shared_memory.SharedMemory,
+        panel_x: shared_memory.SharedMemory,
+        panel_y: shared_memory.SharedMemory,
+        specs: list[StripeSpec],
+        num_rows: int,
+        panel_cols: int,
+    ):
+        self._operator = operator_segment
+        self._panel_x = panel_x
+        self._panel_y = panel_y
+        self._specs = specs
+        self._num_rows = num_rows
+        self._panel_cols = panel_cols
+        self._closed = False
+
+    @classmethod
+    def build(
+        cls,
+        graph,
+        plan: ShardPlan,
+        panel_cols: int = DEFAULT_PANEL_COLS,
+    ) -> "ShardStore":
+        """Publish ``graph``'s operator stripes for ``plan`` into shared
+        memory and size the iterate panels for ``panel_cols`` columns."""
+        n = graph.num_nodes
+        if plan.num_rows != n:
+            raise ParameterError(
+                f"plan covers {plan.num_rows} rows but the graph has {n}"
+            )
+        if panel_cols < 1:
+            raise ParameterError("panel_cols must be at least 1")
+
+        stripes = list(_operator_stripes(graph, plan))
+        layout: list[dict] = []
+        offset = 0
+        for (begin, end), stripe in stripes:
+            entry = {}
+            for part in ("indptr", "indices", "data"):
+                array = getattr(stripe, part)
+                offset = _aligned(offset)
+                entry[part] = (offset, array.size, array.dtype.str)
+                offset += array.nbytes
+            layout.append(entry)
+        operator_segment = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1)
+        )
+        specs: list[StripeSpec] = []
+        for shard, ((begin, end), stripe) in enumerate(stripes):
+            entry = layout[shard]
+            for part in ("indptr", "indices", "data"):
+                off, count, dtype = entry[part]
+                view = np.ndarray(
+                    (count,), dtype=dtype, buffer=operator_segment.buf,
+                    offset=off,
+                )
+                np.copyto(view, getattr(stripe, part))
+            specs.append(
+                StripeSpec(
+                    shard=shard,
+                    row_begin=begin,
+                    row_end=end,
+                    num_cols=n,
+                    nnz=int(stripe.nnz),
+                    indptr_offset=entry["indptr"][0],
+                    indices_offset=entry["indices"][0],
+                    data_offset=entry["data"][0],
+                    index_dtype=entry["indices"][2],
+                    arrays=entry,
+                )
+            )
+
+        panel_bytes = n * panel_cols * np.dtype(np.float64).itemsize
+        panel_x = shared_memory.SharedMemory(create=True, size=panel_bytes)
+        panel_y = shared_memory.SharedMemory(create=True, size=panel_bytes)
+        return cls(
+            operator_segment, panel_x, panel_y, specs, n, panel_cols
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def specs(self) -> list[StripeSpec]:
+        return list(self._specs)
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def panel_cols(self) -> int:
+        return self._panel_cols
+
+    @property
+    def segment_names(self) -> tuple[str, str, str]:
+        """(operator, X panel, Y panel) segment names."""
+        return (
+            self._operator.name, self._panel_x.name, self._panel_y.name,
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def nbytes(self) -> int:
+        """Total bytes of all shared segments."""
+        return (
+            self._operator.size + self._panel_x.size + self._panel_y.size
+        )
+
+    # -- panel access (creator side) -------------------------------------------
+
+    def panel(
+        self, which: str, ncols: int, dtype=np.float64
+    ) -> np.ndarray:
+        """A ``(num_rows, ncols)`` view over the X or Y panel (``ncols ==
+        0`` yields the 1-D SpMV layout).  Rows are packed tightly, so the
+        view is C-contiguous for any ``ncols <= panel_cols``."""
+        segment = self._panel_x if which == "x" else self._panel_y
+        dtype = np.dtype(dtype)
+        shape = (
+            (self._num_rows,) if ncols == 0 else (self._num_rows, ncols)
+        )
+        needed = int(np.prod(shape)) * dtype.itemsize
+        if needed > segment.size:
+            raise ParameterError(
+                f"panel holds {segment.size} bytes; {shape} {dtype} needs "
+                f"{needed}"
+            )
+        return np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in (self._operator, self._panel_x, self._panel_y):
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardStore(rows={self._num_rows}, shards={len(self._specs)}, "
+            f"panel_cols={self._panel_cols}, closed={self._closed})"
+        )

@@ -1,0 +1,271 @@
+"""The shard worker process and its parent-side handle.
+
+Each :class:`ShardWorker` is one OS process owning one row stripe of the
+propagation operator.  Its loop is deliberately tiny: wait for a command
+on its pipe, run one **block-local iterate sweep step** — a
+:func:`repro.kernels.spmm` (or ``spmv``) of its stripe against the full
+shared iterate panel ``X``, written into its own row slice of ``Y`` —
+and reply.  All heavy state (the CSR stripe, the panels) lives in shared
+memory mapped zero-copy; the pipes carry only small command tuples, so a
+step costs one roundtrip per worker regardless of graph size.
+
+Workers pre-scale their stripe's value array by the commanded decay
+(scaled then cast, exactly as :meth:`Graph._operator_for` builds the
+in-memory decayed operator) and cache the scaled copy per
+``(decay, dtype)``, so steady serving touches only the SpMM itself.
+Because every output row is computed with the same per-row arithmetic
+and accumulation order as the single-process kernels, the sharded sweep
+is **bitwise identical** to the serial one — the property the router's
+equivalence tests pin down.
+
+Each worker stamps its process with
+:func:`repro.kernels.set_shard_annotation`, so any
+:func:`repro.kernels.cache_token` minted inside it names the stripe it
+ran on.
+"""
+
+from __future__ import annotations
+
+import traceback
+from multiprocessing.connection import Connection
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sharding.store import StripeSpec, attach_segment
+
+__all__ = ["ShardWorker", "shard_worker_main"]
+
+#: Default seconds the parent waits for one step reply before declaring
+#: the worker hung.  Generous: a cold Numba worker may JIT-compile its
+#: kernels inside the first step.
+DEFAULT_STEP_TIMEOUT = 300.0
+
+
+def _spec_payload(spec: StripeSpec) -> dict:
+    """The picklable recipe a child needs to rebuild its stripe views."""
+    return {
+        "shard": spec.shard,
+        "row_begin": spec.row_begin,
+        "row_end": spec.row_end,
+        "num_cols": spec.num_cols,
+        "nnz": spec.nnz,
+        "indptr_offset": spec.indptr_offset,
+        "indices_offset": spec.indices_offset,
+        "data_offset": spec.data_offset,
+        "index_dtype": spec.index_dtype,
+    }
+
+
+def shard_worker_main(
+    payload: dict,
+    segments: tuple[str, str, str],
+    num_shards: int,
+    backend: str,
+    conn: Connection,
+) -> None:
+    """Child-process entry: serve step commands until told to stop.
+
+    Importable at module level so it works under both the ``fork`` and
+    ``spawn`` start methods.
+    """
+    from repro import kernels
+
+    operator_shm = panel_x = panel_y = None
+    views: list = []
+    scaled_cache: dict[tuple[float | None, str], sp.csr_array] = {}
+    try:
+        kernels.set_shard_annotation(f"{payload['shard']}/{num_shards}")
+        kernels.set_backend(backend)
+        # Workers inherit the creator's resource tracker (fork and spawn
+        # alike), so attaching must not disturb its bookkeeping — see
+        # attach_segment.
+        operator_shm = attach_segment(segments[0])
+        panel_x = attach_segment(segments[1])
+        panel_y = attach_segment(segments[2])
+
+        rows = payload["row_end"] - payload["row_begin"]
+        indptr = np.ndarray(
+            (rows + 1,), dtype=payload["index_dtype"],
+            buffer=operator_shm.buf, offset=payload["indptr_offset"],
+        )
+        indices = np.ndarray(
+            (payload["nnz"],), dtype=payload["index_dtype"],
+            buffer=operator_shm.buf, offset=payload["indices_offset"],
+        )
+        base_data = np.ndarray(
+            (payload["nnz"],), dtype=np.float64,
+            buffer=operator_shm.buf, offset=payload["data_offset"],
+        )
+        n = payload["num_cols"]
+        begin, end = payload["row_begin"], payload["row_end"]
+        views.extend((indptr, indices, base_data))
+
+        def stripe_for(decay: float | None, dtype: np.dtype) -> sp.csr_array:
+            key = (decay, dtype.name)
+            stripe = scaled_cache.get(key)
+            if stripe is None:
+                stripe = sp.csr_array(
+                    (kernels.scaled_values(base_data, decay, dtype),
+                     indices, indptr),
+                    shape=(rows, n),
+                )
+                scaled_cache[key] = stripe
+            return stripe
+
+        conn.send(("ready", payload["shard"]))
+        while True:
+            try:
+                command = conn.recv()
+            except EOFError:  # parent vanished: exit quietly
+                return
+            verb = command[0]
+            try:
+                if verb == "stop":
+                    conn.send(("ok", None))
+                    return
+                if verb == "ping":
+                    conn.send(("ok", payload["shard"]))
+                    continue
+                if verb != "step":
+                    raise ValueError(f"unknown shard command {verb!r}")
+                _, ncols, dtype_name, decay, want_backend = command
+                if want_backend != kernels.get_backend():
+                    kernels.set_backend(want_backend)
+                dtype = np.dtype(dtype_name)
+                stripe = stripe_for(decay, dtype)
+                if ncols == 0:
+                    x = np.ndarray((n,), dtype=dtype, buffer=panel_x.buf)
+                    y = np.ndarray((n,), dtype=dtype, buffer=panel_y.buf)
+                    kernels.spmv(stripe, x, out=y[begin:end])
+                else:
+                    x = np.ndarray(
+                        (n, ncols), dtype=dtype, buffer=panel_x.buf
+                    )
+                    y = np.ndarray(
+                        (n, ncols), dtype=dtype, buffer=panel_y.buf
+                    )
+                    kernels.spmm(stripe, x, out=y[begin:end])
+                conn.send(("ok", None))
+            except Exception:  # noqa: BLE001 - forwarded to the router
+                conn.send(("err", traceback.format_exc()))
+    finally:
+        # Views into the buffers must die before the mappings close.
+        views.clear()
+        scaled_cache.clear()
+        for segment in (operator_shm, panel_x, panel_y):
+            if segment is not None:
+                try:
+                    segment.close()
+                except Exception:  # pragma: no cover - interpreter exit
+                    pass
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+class ShardWorker:
+    """Parent-side handle of one shard worker process.
+
+    Parameters
+    ----------
+    context:
+        The ``multiprocessing`` context to spawn under.
+    spec:
+        The worker's stripe (from :attr:`ShardStore.specs`).
+    segments:
+        The store's ``(operator, X, Y)`` segment names.
+    num_shards:
+        Total worker count (for the shard annotation).
+    backend:
+        Kernel backend name the worker starts on.
+    """
+
+    def __init__(
+        self,
+        context,
+        spec: StripeSpec,
+        segments: tuple[str, str, str],
+        num_shards: int,
+        backend: str,
+    ):
+        self.spec = spec
+        payload = _spec_payload(spec)
+        parent_conn, child_conn = context.Pipe()
+        self._conn = parent_conn
+        self._process = context.Process(
+            target=shard_worker_main,
+            args=(payload, segments, num_shards, backend, child_conn),
+            name=f"repro-shard-{spec.shard}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+
+    @property
+    def shard(self) -> int:
+        return self.spec.shard
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def wait_ready(self, timeout: float) -> None:
+        reply = self._receive(timeout)
+        if reply[0] != "ready":
+            raise RuntimeError(
+                f"shard {self.shard} failed to initialize: {reply[1]}"
+            )
+
+    def send_step(
+        self, ncols: int, dtype: np.dtype, decay: float | None, backend: str
+    ) -> None:
+        self._conn.send(("step", ncols, np.dtype(dtype).name, decay, backend))
+
+    def ping(self, timeout: float) -> None:
+        self._conn.send(("ping",))
+        self.wait_ok(timeout)
+
+    def wait_ok(self, timeout: float) -> None:
+        reply = self._receive(timeout)
+        if reply[0] != "ok":
+            raise RuntimeError(
+                f"shard {self.shard} step failed:\n{reply[1]}"
+            )
+
+    def _receive(self, timeout: float):
+        if not self._conn.poll(timeout):
+            raise RuntimeError(
+                f"shard {self.shard} did not reply within {timeout:g}s "
+                f"(alive={self.alive})"
+            )
+        try:
+            return self._conn.recv()
+        except EOFError as error:
+            raise RuntimeError(
+                f"shard {self.shard} worker process died"
+            ) from error
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask the worker to exit; escalate to terminate if it will not."""
+        try:
+            self._conn.send(("stop",))
+            self._conn.poll(timeout)
+        except (BrokenPipeError, OSError):
+            pass
+        self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - hung worker
+            self._process.terminate()
+            self._process.join(timeout)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardWorker(shard={self.shard}, "
+            f"rows=[{self.spec.row_begin}, {self.spec.row_end}), "
+            f"alive={self.alive})"
+        )

@@ -183,6 +183,9 @@ class TestServeBenchCommand:
         import json
 
         report = json.loads(json_path.read_text())
+        assert report["schema"] == "repro-serving-report/1"
+        assert report["kind"] == "serve-bench"
+        assert report["config"]["workers"] == 2
         assert report["requests"] == 20
         assert report["errors"] == 0
         assert report["queries_per_second"] > 0
@@ -200,3 +203,40 @@ class TestServeBenchCommand:
             main([
                 "serve-bench", "--graph", str(edge_file), "--nodes", "100",
             ])
+
+
+class TestShardBenchCommand:
+    def test_synthetic_run_prints_report(self, tmp_path, capsys):
+        json_path = tmp_path / "shard-bench.json"
+        code = main([
+            "shard-bench", "--nodes", "600", "--avg-degree", "6",
+            "--shards", "2", "--clients", "2", "--requests", "10",
+            "--top", "5", "--cache", "16", "--reorder", "slashburn",
+            "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency histogram (ms)" in out
+        assert "shards=2" in out
+        assert "shard rows" in out
+        assert "throughput" in out
+        import json
+
+        report = json.loads(json_path.read_text())
+        # serve-bench and shard-bench share one versioned schema.
+        assert report["schema"] == "repro-serving-report/1"
+        assert report["kind"] == "shard-bench"
+        assert report["config"]["shards"] == 2
+        assert len(report["config"]["shard_rows"]) == 2
+        assert report["requests"] == 20
+        assert report["errors"] == 0
+        assert report["queries_per_second"] > 0
+
+    def test_no_reorder_leg(self, capsys):
+        code = main([
+            "shard-bench", "--nodes", "400", "--avg-degree", "6",
+            "--shards", "2", "--clients", "1", "--requests", "5",
+            "--reorder", "none",
+        ])
+        assert code == 0
+        assert "throughput" in capsys.readouterr().out

@@ -1,10 +1,14 @@
 """Unit tests for repro.graph.partition."""
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError
-from repro.graph.partition import partition_graph
+from repro.graph.partition import partition_graph, partition_order
 
 
 class TestPartitionGraph:
@@ -60,3 +64,71 @@ class TestPartitionGraph:
         labels = partition_graph(graph, 8, seed=0)
         counts = np.bincount(labels, minlength=8)
         assert (counts == 1).all()
+
+    def test_explicit_generator_matches_seed(self, small_community):
+        """An explicit Generator threads through the whole pass — the
+        merge/split rebalancing included — identically to the plain
+        seed, so callers can hand one RNG through larger pipelines."""
+        from_seed = partition_graph(small_community, 8, seed=5)
+        from_generator = partition_graph(
+            small_community, 8, seed=np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(from_seed, from_generator)
+
+    def test_deterministic_across_processes(self):
+        """Regression (sharding prerequisite): two separate interpreter
+        processes given the same graph and seed must derive identical
+        labels — shard boundaries cut on partition frontiers are only
+        consistent if every process agrees on them."""
+        script = (
+            "import numpy as np\n"
+            "from repro.graph.generators import community_graph\n"
+            "from repro.graph.partition import partition_graph\n"
+            "graph = community_graph(300, avg_degree=8,"
+            " num_communities=6, seed=4)\n"
+            "labels = partition_graph(graph, 6, seed=5)\n"
+            "print(','.join(map(str, labels.tolist())))\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = {**os.environ, "PYTHONHASHSEED": "random"}
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        outputs = []
+        for _ in range(2):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            outputs.append(result.stdout.strip())
+        assert outputs[0] == outputs[1]
+        here = partition_graph(
+            __import__("repro.graph.generators",
+                       fromlist=["community_graph"]).community_graph(
+                300, avg_degree=8, num_communities=6, seed=4
+            ),
+            6, seed=5,
+        )
+        assert outputs[0] == ",".join(map(str, here.tolist()))
+
+
+class TestPartitionOrder:
+    def test_groups_are_contiguous(self, small_community):
+        labels = partition_graph(small_community, 8, seed=0)
+        permutation, starts = partition_order(labels)
+        ordered = labels[permutation]
+        # Each partition occupies one contiguous run.
+        assert (np.diff(ordered) >= 0).all()
+        assert starts[0] == 0
+        np.testing.assert_array_equal(
+            np.sort(permutation), np.arange(small_community.num_nodes)
+        )
+        # One start per non-empty label, at the run frontiers.
+        boundaries = np.flatnonzero(np.diff(ordered) != 0) + 1
+        np.testing.assert_array_equal(starts[1:], boundaries)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            partition_order(np.empty(0, dtype=np.int64))
