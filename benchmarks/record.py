@@ -29,9 +29,12 @@ micro-batching ``repro.serving.Server`` with one Engine replica per
 worker), or ``sharded_queries_per_second`` / ``sharded_latency_p99_ms``
 (the same closed loop against the multi-process
 ``repro.sharding.Router``: shard worker processes over shared-memory
-CSR row stripes).  Timings are best-of-N wall clock — the min filters
-scheduler noise; the serving entries are one full closed-loop run after
-a warm-up wave.
+CSR row stripes), or ``updates_per_second`` vs
+``updates_latency_p99_ms`` (the dynamic-serving trade-off: the same
+closed loop while a mutator thread churns edges through a
+``repro.dynamic.DynamicGraph`` with periodic compactions).  Timings are
+best-of-N wall clock — the min filters scheduler noise; the serving
+entries are one full closed-loop run after a warm-up wave.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ from repro.core.tpa import TPA  # noqa: E402
 from repro.engine import Engine  # noqa: E402
 from repro.graph.generators import community_graph  # noqa: E402
 from repro.method import banned_mask, select_top_k  # noqa: E402
+from repro.dynamic import DynamicGraph, run_update_bench  # noqa: E402
 from repro.serving import Server, run_closed_loop  # noqa: E402
 from repro.sharding import Router  # noqa: E402
 
@@ -211,6 +215,37 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
             requests_per_client=max(32, batch),
         )
 
+    # Dynamic serving: the same closed loop against a Server whose graph
+    # mutates underneath it — a mutator thread applies edge-update
+    # batches with periodic compactions while clients query, so the
+    # recorded sustained updates/sec and latency percentiles charge
+    # every epoch-repair cost (re-preprocess, cache invalidation, warm
+    # restarts) to the numbers the deployment actually observes.
+    dynamic_graph = DynamicGraph(graph)
+    dynamic_method = TPA(s_iteration=5, t_iteration=10)
+    dynamic_method.preprocess(dynamic_graph)
+    with Server(
+        dynamic_method,
+        dynamic_graph,
+        workers=workers,
+        max_batch=batch,
+        max_wait_ms=2.0,
+        max_pending=4096,
+    ) as server:
+        run_closed_loop(
+            server, seeds, k=topk, clients=clients, requests_per_client=8,
+        )
+        updates = run_update_bench(
+            server,
+            dynamic_graph,
+            seeds,
+            k=topk,
+            clients=clients,
+            requests_per_client=max(32, batch),
+            update_batch=8,
+            compact_every=256,
+        )
+
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "commit": _commit(),
@@ -253,6 +288,11 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         "sharded_latency_p50_ms": sharded.latency_p50_ms,
         "sharded_latency_p95_ms": sharded.latency_p95_ms,
         "sharded_latency_p99_ms": sharded.latency_p99_ms,
+        **updates.update_fields(),
+        "updates_queries_per_second": updates.load.queries_per_second,
+        "updates_latency_p50_ms": updates.load.latency_p50_ms,
+        "updates_latency_p95_ms": updates.load.latency_p95_ms,
+        "updates_latency_p99_ms": updates.load.latency_p99_ms,
     }
 
 

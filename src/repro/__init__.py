@@ -82,6 +82,8 @@ Package map
 * :mod:`repro.sharding` — sharded multi-process serving (``ShardPlan``,
   shared-memory ``ShardStore``, shard workers, ``Router``,
   ``Engine.shard()``).
+* :mod:`repro.dynamic` — dynamic graphs (``DynamicGraph`` delta-overlay
+  edge updates, epoch-aware cache repair, warm-restarted serving).
 * :mod:`repro.metrics` — L1 error, recall@k, memory and timing accounting.
 * :mod:`repro.analysis` — matrix-power densification and block-wise drift.
 * :mod:`repro.experiments` — one driver per paper table/figure
@@ -172,6 +174,8 @@ from repro.serving import (
 )
 from repro import sharding
 from repro.sharding import Router, ShardPlan, ShardedEngine
+from repro import dynamic
+from repro.dynamic import DeltaOverlay, DynamicGraph, OVERLAY_TOLERANCE
 from repro.metrics import (
     l1_error,
     top_k,
@@ -272,5 +276,9 @@ __all__ = [
     "Router",
     "ShardPlan",
     "ShardedEngine",
+    "dynamic",
+    "DeltaOverlay",
+    "DynamicGraph",
+    "OVERLAY_TOLERANCE",
     "__version__",
 ]

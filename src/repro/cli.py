@@ -9,6 +9,7 @@ Five subcommands::
     python -m repro generate --dataset pokec --scale 0.5 --out pokec.tsv
     python -m repro serve-bench --nodes 20000 --workers 4 --clients 8
     python -m repro shard-bench --nodes 20000 --shards 4 --clients 8
+    python -m repro update-bench --nodes 20000 --workers 4 --clients 8
 
 ``query`` reads a whitespace edge list, runs the chosen method through the
 batched :class:`~repro.engine.Engine`, and prints the top-ranked nodes (in
@@ -32,6 +33,12 @@ histogram plus p50/p95/p99 and throughput; ``--json`` additionally
 writes the report — one shared, versioned schema
 (:data:`repro.serving.metrics.REPORT_SCHEMA`) for both deployments, so
 CI's artifacts stay directly diffable.
+
+``update-bench`` serves over a live :class:`repro.dynamic.DynamicGraph`
+instead: the same closed-loop clients run while a mutator thread applies
+edge-update batches (and periodic compactions), answering how many
+updates per second the deployment sustains at what query latency.  The
+report shares the same schema plus ``updates_*`` fields.
 
 (The per-figure experiment harness lives under ``python -m
 repro.experiments``.)
@@ -156,6 +163,21 @@ def _build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--start-method", default=None,
                        help="multiprocessing start method override")
 
+    update = commands.add_parser(
+        "update-bench",
+        help="closed-loop load test while the graph mutates underneath",
+    )
+    add_bench_arguments(update)
+    update.add_argument("--workers", type=int, default=2,
+                        help="worker threads (one Engine replica each)")
+    update.add_argument("--update-batch", type=int, default=8,
+                        help="edges per mutation call")
+    update.add_argument("--compact-every", type=int, default=256,
+                        help="applied mutations between compactions "
+                             "(0 = never compact, pure overlay serving)")
+    update.add_argument("--backlog", type=int, default=1024,
+                        help="max benchmark-inserted edges alive at once")
+
     return parser
 
 
@@ -254,9 +276,10 @@ def _bench_seed_pool(args: argparse.Namespace, num_nodes: int):
 
 
 def _print_bench_report(args: argparse.Namespace, report, *, kind: str,
-                        config: dict) -> None:
+                        config: dict, extra: dict | None = None) -> None:
     """Render one closed-loop report: histogram, summary lines, and the
-    optional JSON document (shared schema across both benchmarks)."""
+    optional JSON document (shared schema across all three benchmarks;
+    ``extra`` fields — e.g. ``updates_*`` — merge into the document)."""
     import json
 
     from repro.serving.metrics import bench_report, latency_histogram
@@ -281,6 +304,8 @@ def _print_bench_report(args: argparse.Namespace, report, *, kind: str,
 
     if args.json_out:
         document = bench_report(report, kind=kind, config=config)
+        if extra:
+            document.update(extra)
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
         print(f"wrote report to {args.json_out}")
@@ -380,6 +405,61 @@ def _command_shard_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_update_bench(args: argparse.Namespace) -> int:
+    from repro.dynamic import DynamicGraph, run_update_bench
+    from repro.serving import Server
+
+    base, source = _bench_graph(args)
+    graph = DynamicGraph(base)
+    method = create_method(args.method, **_method_params(args))
+    pool = _bench_seed_pool(args, graph.num_nodes)
+    with Server(
+        method,
+        graph,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_pending=args.max_pending,
+        cache_size=args.cache,
+    ) as server:
+        print(f"# graph={source} nodes={graph.num_nodes} "
+              f"edges={graph.num_edges}")
+        print(f"# method={method.name} workers={args.workers} "
+              f"clients={args.clients} requests/client={args.requests} "
+              f"top={args.top} update_batch={args.update_batch} "
+              f"compact_every={args.compact_every} cache={args.cache}")
+        result = run_update_bench(
+            server,
+            graph,
+            pool,
+            k=args.top,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            update_batch=args.update_batch,
+            compact_every=args.compact_every,
+            backlog=args.backlog,
+        )
+
+    print(f"updates applied {result.updates_applied} "
+          f"(attempted {result.updates_attempted})")
+    print(f"compactions     {result.compactions}")
+    print(f"updates/sec     {result.updates_per_second:.1f}")
+    _print_bench_report(
+        args, result.load, kind="update-bench",
+        config={
+            "graph": source, "nodes": graph.num_nodes,
+            "edges": graph.num_edges, "method": method.name,
+            "workers": args.workers, "clients": args.clients,
+            "requests_per_client": args.requests, "top": args.top,
+            "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
+            "cache": args.cache, "update_batch": args.update_batch,
+            "compact_every": args.compact_every, "backlog": args.backlog,
+        },
+        extra=result.update_fields(),
+    )
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale)
     spec = DATASETS[args.dataset]
@@ -403,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _command_generate,
         "serve-bench": _command_serve_bench,
         "shard-bench": _command_shard_bench,
+        "update-bench": _command_update_bench,
     }
     return handlers[args.command](args)
 

@@ -151,6 +151,7 @@ def cpi(
     terminal_iteration: int | None = None,
     max_iterations: int = _MAX_ITERATIONS_DEFAULT,
     workspace: Workspace | None = None,
+    x0: np.ndarray | None = None,
 ) -> CPIResult:
     """Run CPI and accumulate iterations ``start_iteration..terminal_iteration``.
 
@@ -176,6 +177,11 @@ def cpi(
         Optional :class:`~repro.kernels.Workspace` the iterate ping-pong
         buffers are drawn from (and retained in between calls); ``None``
         allocates per call.
+    x0:
+        Optional warm-start guess of the *converged* score vector (e.g.
+        the pre-update vector after a graph mutation).  Only valid for
+        full-series runs (``start_iteration == 0`` and
+        ``terminal_iteration is None``).  See Notes.
 
     Returns
     -------
@@ -187,6 +193,17 @@ def cpi(
     The family part of TPA is ``cpi(graph, s, start_iteration=0,
     terminal_iteration=S - 1)`` and the stranger part of PageRank is
     ``cpi(graph, None, start_iteration=T)``.
+
+    **Warm starts.**  The converged series satisfies the fixed point
+    ``s = c·q + (1-c)·Ã^T s``, so with a guess ``x0`` the run restarts
+    from the Richardson residual ``r = c·q + (1-c)·Ã^T x0 - x0`` and
+    accumulates ``scores = x0 + r + (1-c)Ã^T r + ...`` — the same fixed
+    point, reached in iterations proportional to ``log(‖r‖₁)`` instead
+    of ``log(c)``.  Warm iterates are *signed*, so residual norms use
+    true absolute sums and a zero ``x0`` reproduces the cold run
+    exactly.  A warm and a cold run agree within ``2·tol/c`` in L1 (each
+    stops with a geometric tail below ``tol·(1-c)/c``) — the documented
+    warm-start agreement tolerance.
     """
     _validate(c, tol, start_iteration)
     if terminal_iteration is not None and terminal_iteration < start_iteration:
@@ -194,10 +211,30 @@ def cpi(
             "terminal_iteration must be >= start_iteration "
             f"({terminal_iteration} < {start_iteration})"
         )
+    if x0 is not None and (start_iteration != 0 or terminal_iteration is not None):
+        raise ParameterError(
+            "x0 warm starts apply only to full-series runs "
+            "(start_iteration == 0 and terminal_iteration is None)"
+        )
 
     q = seed_vector(graph, seeds)
-    x = c * q
-    scores = np.zeros_like(x)
+    use_decayed = hasattr(graph, "propagate_decayed")
+    if x0 is None:
+        x = c * q
+        scores = np.zeros_like(x)
+    else:
+        x0 = np.ascontiguousarray(x0, dtype=q.dtype)
+        if x0.shape != q.shape:
+            raise ParameterError(
+                f"x0 must have shape {q.shape}, got {x0.shape}"
+            )
+        if use_decayed:
+            x = graph.propagate_decayed(x0, 1.0 - c)
+        else:
+            x = (1.0 - c) * graph.propagate(x0)
+        x += c * q
+        x -= x0
+        scores = x0.copy()
     if start_iteration == 0:
         scores += x
 
@@ -207,7 +244,6 @@ def cpi(
     if residual < tol:
         converged = True
 
-    use_decayed = hasattr(graph, "propagate_decayed")
     buffers = (
         workspace.pair("cpi.vec", x.shape, x.dtype)
         if workspace is not None and use_decayed
@@ -282,6 +318,7 @@ def cpi_many(
     terminal_iteration: int | None = None,
     max_iterations: int = _MAX_ITERATIONS_DEFAULT,
     workspace: Workspace | None = None,
+    x0: np.ndarray | None = None,
 ) -> CPIManyResult:
     """Batched CPI: run Algorithm 1 for every seed in one propagation loop.
 
@@ -295,6 +332,11 @@ def cpi_many(
     ``workspace`` for the SpMM ping-pong buffers); ``seeds`` must be a
     non-empty batch of node ids (batched PageRank seeding makes no sense —
     every column would be identical).
+
+    ``x0`` optionally warm-starts the batch from an ``(n, B)`` matrix of
+    per-column guesses (see the warm-start notes on :func:`cpi`); an
+    all-zero column behaves exactly as a cold start, so mixed warm/cold
+    batches are fine.
     """
     _validate(c, tol, start_iteration)
     if terminal_iteration is not None and terminal_iteration < start_iteration:
@@ -306,6 +348,15 @@ def cpi_many(
     decay = 1.0 - c
     dtype = kernels.compute_dtype()
     seeds_arr = _validate_seed_batch(graph, seeds)
+    if x0 is not None:
+        if start_iteration != 0 or terminal_iteration is not None:
+            raise ParameterError(
+                "x0 warm starts apply only to full-series runs "
+                "(start_iteration == 0 and terminal_iteration is None)"
+            )
+        return _cpi_many_warm(
+            graph, seeds_arr, c, tol, max_iterations, workspace, x0
+        )
     # The scaled seed matrix c·Q, scattered directly (c·1 == c exactly, so
     # this matches seed_matrix() followed by a full *= c pass, minus the
     # pass over the whole (n, B) buffer).
@@ -371,15 +422,25 @@ def cpi_many(
                 f"tol {tol:.3e})"
             )
         iteration += 1
+        gathered = False
         if iteration == 1 and gather_first:
             # The seed columns are unit vectors, so the first iterate is a
             # plain gather of scaled Ã rows — no SpMM needed.
-            triplet = _first_iterate_triplet(graph, seeds_arr, c, decay)
-            if (
-                (terminal_iteration is None or terminal_iteration >= 2)
-                and c * decay > check_floor
-                and _gather_profitable(graph, triplet, seeds_arr.size)
-            ):
+            try:
+                triplet = _first_iterate_triplet(graph, seeds_arr, c, decay)
+                profitable = (
+                    (terminal_iteration is None or terminal_iteration >= 2)
+                    and c * decay > check_floor
+                    and _gather_profitable(graph, triplet, seeds_arr.size)
+                )
+            except AttributeError:
+                # A mutable substrate revoked its CSR surface between the
+                # hasattr gate and the gather (a DynamicGraph mutated
+                # under this call): fall through to the SpMM path, whose
+                # propagate always serves a consistent generation.
+                triplet = None
+                profitable = False
+            if triplet is not None and profitable:
                 # The next iterate will come from the triplet and no
                 # residual check can fire this iteration, so the dense
                 # matrix is never needed: scatter the score contribution
@@ -392,17 +453,22 @@ def cpi_many(
                 x = None
                 analytic_norm *= decay
                 continue
-            x, sparse_iterate = _densify_first_iterate(
-                graph, triplet, seeds_arr, c, decay
-            )
-        else:
+            if triplet is not None:
+                x, sparse_iterate = _densify_first_iterate(
+                    graph, triplet, seeds_arr, c, decay
+                )
+                gathered = True
+        if not gathered:
             advanced = None
             if sparse_iterate is not None:
                 # The iterate is still provably sparse; a gather/segment-
                 # sum beats the SpMM while its support stays small.
-                advanced = _gathered_iterate(
-                    graph, sparse_iterate, seeds_arr.size, decay
-                )
+                try:
+                    advanced = _gathered_iterate(
+                        graph, sparse_iterate, seeds_arr.size, decay
+                    )
+                except AttributeError:
+                    advanced = None  # CSR surface revoked mid-stream
             if advanced is not None:
                 x, sparse_iterate = advanced
             else:
@@ -604,6 +670,89 @@ def _gathered_iterate(
     return x, None
 
 
+def _cpi_many_warm(
+    graph: Graph,
+    seeds_arr: np.ndarray,
+    c: float,
+    tol: float,
+    max_iterations: int,
+    workspace: Workspace | None,
+    x0: np.ndarray,
+) -> CPIManyResult:
+    """Warm-started batched CPI (the ``x0`` route of :func:`cpi_many`).
+
+    A separate loop from the cold path on purpose: warm iterates are
+    *signed* residual corrections, so none of the cold path's
+    nonnegativity shortcuts apply (plain-sum norms, analytic-norm check
+    skipping, sparse first iterates) — and keeping the paths apart
+    leaves the cold path's bitwise contracts untouched.  An all-zero
+    column degenerates to the cold recurrence exactly (``r = c·q``), so
+    mixed warm/cold batches are sound.
+    """
+    decay = 1.0 - c
+    dtype = kernels.compute_dtype()
+    n, batch = graph.num_nodes, seeds_arr.size
+    x0 = np.asarray(x0)
+    if x0.shape != (n, batch):
+        raise ParameterError(
+            f"x0 must have shape ({n}, {batch}) to match the seed batch; "
+            f"got {x0.shape}"
+        )
+    x0 = np.ascontiguousarray(x0, dtype=dtype)
+    use_decayed = hasattr(graph, "propagate_decayed")
+    # Richardson residual r = c·Q + (1-c)·Ã^T x0 - x0 (see cpi's notes).
+    if use_decayed:
+        x = graph.propagate_decayed(x0, decay)
+    else:
+        x = decay * graph.propagate(x0)
+    x[seeds_arr, np.arange(batch)] += c
+    x -= x0
+    scores = x0.copy()
+    scores += x
+
+    iteration = 0
+    residual = np.abs(x).sum(axis=0)
+    converged = residual < tol
+    if converged.any():
+        x[:, converged] = 0.0
+    buffers = (
+        workspace.pair("cpi.warm", x.shape, x.dtype)
+        if workspace is not None and use_decayed
+        else None
+    )
+    while not converged.all():
+        if iteration >= max_iterations:
+            raise ConvergenceError(
+                f"warm-started batched CPI did not converge within "
+                f"{max_iterations} iterations (max residual "
+                f"{float(residual.max()):.3e}, tol {tol:.3e})"
+            )
+        iteration += 1
+        if use_decayed:
+            out = buffers[iteration % 2] if buffers is not None else None
+            if out is x:  # pragma: no cover - defensive
+                out = None
+            x = graph.propagate_decayed(x, decay, out=out)
+        else:
+            x = decay * graph.propagate(x)
+        scores += x
+        live = np.abs(x).sum(axis=0)
+        residual = np.where(converged, residual, live)
+        newly = (~converged) & (live < tol)
+        if newly.any():
+            converged = converged | newly
+            # Freeze finished columns, mirroring the cold path's exact
+            # single-seed equivalence argument.
+            x[:, converged] = 0.0
+
+    return CPIManyResult(
+        scores=scores.T,
+        iterations=iteration,
+        converged=converged,
+        residual_norms=residual,
+    )
+
+
 class CPIMethod(PPRMethod):
     """Exact RWR via Cumulative Power Iteration, as a :class:`PPRMethod`.
 
@@ -624,6 +773,10 @@ class CPIMethod(PPRMethod):
     """
 
     name = "CPI"
+    #: CPI accepts ``x0`` fixed-point guesses (see ``cpi``'s warm-start
+    #: notes) — the Engine feeds it retained pre-epoch vectors after a
+    #: graph mutation instead of recomputing from zero.
+    supports_warm_start = True
 
     def __init__(self, c: float = 0.15, tol: float = 1e-9):
         super().__init__()
@@ -652,10 +805,18 @@ class CPIMethod(PPRMethod):
             workspace=self._workspace,
         ).scores
 
-    def _query_many(self, seeds: np.ndarray) -> np.ndarray:
+    def _query_many(
+        self, seeds: np.ndarray, x0: np.ndarray | None = None
+    ) -> np.ndarray:
+        if x0 is not None:
+            # The protocol hands per-seed row guesses (B, n); the batched
+            # loop iterates column-major (n, B).
+            x0 = np.ascontiguousarray(
+                np.asarray(x0).T, dtype=kernels.compute_dtype()
+            )
         return cpi_many(
             self.graph, seeds, c=self.c, tol=self.tol,
-            workspace=self._workspace,
+            workspace=self._workspace, x0=x0,
         ).scores
 
 

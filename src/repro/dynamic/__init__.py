@@ -1,0 +1,36 @@
+"""Dynamic graphs: delta-overlay edge updates over the immutable substrates.
+
+The package layers mutability over the repo's build-once CSR world:
+
+* :class:`DeltaOverlay` — an append-only log of edge inserts/deletes,
+  compiled on demand into a sparse delta operator through the same
+  :func:`repro.kernels.scaled_values` contract as every decayed
+  operator;
+* :class:`DynamicGraph` — a graph-protocol facade (base product + delta
+  fold) CPI/TPA and all baselines run on unmodified, with
+  :meth:`~DynamicGraph.compact` folding the overlay into a fresh base
+  whose results are bitwise identical to a from-scratch build;
+* :data:`OVERLAY_TOLERANCE` — the documented ≤1e-12 accuracy tier of
+  overlay-mode (uncompacted) results, surfaced in every
+  :func:`repro.kernels.cache_token` minted against a dirty graph;
+* :func:`run_update_bench` — the sustained-updates-versus-query-latency
+  benchmark behind the ``update-bench`` CLI command.
+"""
+
+from repro.dynamic.graph import DynamicGraph
+from repro.dynamic.overlay import OVERLAY_TOLERANCE, DeltaOverlay
+
+__all__ = [
+    "DeltaOverlay",
+    "DynamicGraph",
+    "OVERLAY_TOLERANCE",
+    "run_update_bench",
+]
+
+
+def run_update_bench(*args, **kwargs):
+    """Lazy alias for :func:`repro.dynamic.bench.run_update_bench`
+    (keeps ``import repro.dynamic`` free of serving imports)."""
+    from repro.dynamic.bench import run_update_bench as _run
+
+    return _run(*args, **kwargs)

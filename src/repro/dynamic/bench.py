@@ -1,0 +1,181 @@
+"""The sustained-updates-versus-query-latency benchmark.
+
+:func:`run_update_bench` drives a serving front end (a
+:class:`~repro.serving.Server` or a :class:`~repro.sharding.Router`)
+with the same closed-loop client threads as ``serve-bench`` /
+``shard-bench``, while a mutator thread hammers the underlying
+:class:`~repro.dynamic.DynamicGraph` with edge-update batches and
+periodic compactions.  The question it answers is the operational one a
+static benchmark cannot: **how many updates per second can the graph
+absorb before query latency degrades**, with every cache-repair and
+epoch-resync cost (re-preprocessing, stripe republish, warm restarts)
+charged to the numbers it actually shows up in.
+
+The mutator inserts fresh random edges and retires its oldest inserts,
+so the steady-state graph stays within ``backlog`` edges of the
+original — the measured rate is a sustained churn rate, not a
+grow-only append rate.  Deletions only ever target edges the benchmark
+itself inserted, which keeps every mutation legal under any dangling
+policy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.serving.loadgen import LoadReport, run_closed_loop
+from repro.serving.metrics import bench_report
+
+__all__ = ["UpdateBenchResult", "run_update_bench"]
+
+
+@dataclass
+class UpdateBenchResult:
+    """Outcome of one update benchmark: the closed-loop query report
+    plus the mutator's sustained-rate counters."""
+
+    load: LoadReport
+    updates_attempted: int
+    updates_applied: int
+    compactions: int
+    update_seconds: float
+
+    @property
+    def updates_per_second(self) -> float:
+        if self.update_seconds <= 0.0:
+            return 0.0
+        return self.updates_applied / self.update_seconds
+
+    def document(self, *, config: dict | None = None) -> dict:
+        """The versioned JSON document (``repro-serving-report/1`` with
+        ``updates_*`` fields) both the CLI and ``benchmarks/record.py``
+        persist."""
+        doc = bench_report(
+            self.load, kind="update-bench", config=config or {}
+        )
+        doc.update(self.update_fields())
+        return doc
+
+    def update_fields(self) -> dict:
+        """Just the ``updates_*`` fields (for merging into an existing
+        trajectory entry)."""
+        return {
+            "updates_attempted": int(self.updates_attempted),
+            "updates_applied": int(self.updates_applied),
+            "updates_compactions": int(self.compactions),
+            "updates_seconds": float(self.update_seconds),
+            "updates_per_second": float(self.updates_per_second),
+        }
+
+
+def run_update_bench(
+    server,
+    graph,
+    seeds,
+    *,
+    k: int | None = 10,
+    clients: int = 4,
+    requests_per_client: int = 100,
+    update_batch: int = 8,
+    compact_every: int = 256,
+    backlog: int = 1024,
+    rng_seed: int = 0,
+) -> UpdateBenchResult:
+    """Measure sustained update throughput against query latency.
+
+    Parameters
+    ----------
+    server:
+        Any scheduler front end (``submit``/``stats``) serving over
+        ``graph`` — the mutations must be visible to its engines.
+    graph:
+        The live :class:`~repro.dynamic.DynamicGraph` under the server.
+    seeds:
+        Seed pool the closed-loop clients cycle over.
+    update_batch:
+        Edges per mutation call (one lock acquisition each).
+    compact_every:
+        Applied mutations between ``compact()`` calls; ``0`` disables
+        compaction so the run measures pure overlay-mode serving.
+    backlog:
+        Ceiling on benchmark-inserted edges alive at once; beyond it the
+        mutator retires its oldest inserts (churn, not growth).
+    """
+    if update_batch < 1:
+        raise ParameterError("update_batch must be at least 1")
+    if compact_every < 0:
+        raise ParameterError("compact_every must be non-negative")
+    if backlog < update_batch:
+        raise ParameterError("backlog must be at least update_batch")
+    n = graph.num_nodes
+    rng = np.random.default_rng(rng_seed)
+    stop = threading.Event()
+    counters = {"attempted": 0, "applied": 0, "compactions": 0,
+                "seconds": 0.0}
+    failure: list[BaseException] = []
+
+    def mutate() -> None:
+        inserted: deque[tuple[int, int]] = deque()
+        applied_since_compact = 0
+        begin = time.perf_counter()
+        try:
+            while not stop.is_set():
+                pairs = list(
+                    zip(
+                        rng.integers(0, n, size=update_batch).tolist(),
+                        rng.integers(0, n, size=update_batch).tolist(),
+                    )
+                )
+                counters["attempted"] += len(pairs)
+                done = graph.add_edges(pairs)
+                counters["applied"] += done
+                applied_since_compact += done
+                inserted.extend(pairs)
+                while len(inserted) > backlog:
+                    victims = [
+                        inserted.popleft()
+                        for _ in range(min(update_batch, len(inserted)))
+                    ]
+                    counters["attempted"] += len(victims)
+                    done = graph.remove_edges(victims)
+                    counters["applied"] += done
+                    applied_since_compact += done
+                if compact_every and applied_since_compact >= compact_every:
+                    graph.compact()
+                    counters["compactions"] += 1
+                    applied_since_compact = 0
+        except BaseException as error:  # surfaced after the load run
+            failure.append(error)
+        finally:
+            counters["seconds"] = time.perf_counter() - begin
+
+    mutator = threading.Thread(
+        target=mutate, name="repro-update-bench-mutator", daemon=True
+    )
+    mutator.start()
+    try:
+        load = run_closed_loop(
+            server,
+            seeds,
+            k=k,
+            clients=clients,
+            requests_per_client=requests_per_client,
+        )
+    finally:
+        stop.set()
+        mutator.join()
+    if failure:
+        raise failure[0]
+    return UpdateBenchResult(
+        load=load,
+        updates_attempted=counters["attempted"],
+        updates_applied=counters["applied"],
+        compactions=counters["compactions"],
+        update_seconds=counters["seconds"],
+    )

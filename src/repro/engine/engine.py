@@ -174,6 +174,17 @@ class Engine:
         The budget behind ``stream_block="auto"`` (default 64 MiB).
         Giving a budget alone implies ``"auto"``; combining it with a
         fixed integer width is a :class:`ParameterError`.
+    warm_start:
+        On a mutable substrate (a graph exposing ``epoch_token()``,
+        i.e. :class:`repro.dynamic.DynamicGraph`), reuse each seed's
+        newest cached score vector — even one computed under a previous
+        graph epoch — as the ``x0`` fixed-point guess when the method
+        :attr:`~repro.method.PPRMethod.supports_warm_start` (default
+        on).  Stale vectors are never *served*: they only shorten the
+        post-update iteration, whose convergence tolerance is
+        unchanged.  Ignored on static graphs and for methods without
+        warm-start support (TPA instead warm-restarts its
+        re-preprocessing from the retained PageRank iterate).
 
     Notes
     -----
@@ -206,6 +217,7 @@ class Engine:
         stream_block: int | str | None = None,
         memory_budget_bytes: int | None = None,
         cache: "ScoreCache | None" = None,
+        warm_start: bool = True,
     ):
         if cache_size < 0:
             raise ParameterError("cache_size must be non-negative")
@@ -313,6 +325,26 @@ class Engine:
             self._score_cache.bind(
                 (type(method).__name__, id(root), id(method.graph))
             )
+        # Epoch tracking for mutable substrates: the caller-space graph
+        # is the epoch source (a reordering's permuted view delegates its
+        # epoch token to the parent, so either works — the caller's is
+        # the one requests arrive against).
+        self._warm_start = bool(warm_start)
+        epoch_graph = (
+            self._original_graph
+            if self._original_graph is not None
+            else method.graph
+        )
+        self._epoch_graph = (
+            epoch_graph
+            if callable(getattr(epoch_graph, "epoch_token", None))
+            else None
+        )
+        self._synced_epoch_token: str | None = (
+            self._epoch_graph.epoch_token()
+            if self._epoch_graph is not None
+            else None
+        )
         self._hits = 0
         self._misses = 0
         self._queries_served = 0
@@ -429,6 +461,9 @@ class Engine:
         clone._preprocess_seconds = 0.0
         clone._method = self._method.replicate()
         clone._score_cache = self._score_cache
+        clone._warm_start = self._warm_start
+        clone._epoch_graph = self._epoch_graph
+        clone._synced_epoch_token = self._synced_epoch_token
         clone._hits = 0
         clone._misses = 0
         clone._queries_served = 0
@@ -549,7 +584,29 @@ class Engine:
                 raise ParameterError("k must be at least 1")
         seeds = self._method.validate_seeds([r.seed for r in requests])
         with self._lock:
+            self._sync_epoch()
             return self._batch_locked(requests, seeds)
+
+    def _sync_epoch(self) -> None:
+        """Repair method state after a graph mutation (lock held).
+
+        On a mutable substrate the graph's epoch token changes with
+        every mutation and compaction; when it moves, the method's
+        preprocessed state (e.g. TPA's stranger vector) describes a
+        graph that no longer exists, so preprocessing is re-run against
+        the live graph before any scoring.  TPA warm-restarts this from
+        its retained PageRank iterate, so small edits re-preprocess in
+        a handful of iterations.  Static graphs skip all of this.
+        """
+        if self._epoch_graph is None:
+            return
+        token = self._epoch_graph.epoch_token()
+        if token == self._synced_epoch_token:
+            return
+        begin = time.perf_counter()
+        self._method.preprocess(self._method.graph)
+        self._preprocess_seconds += time.perf_counter() - begin
+        self._synced_epoch_token = token
 
     def _batch_locked(
         self, requests: list[QueryRequest], seeds: np.ndarray
@@ -561,6 +618,13 @@ class Engine:
             if distinct.size > self._resolve_stream_block():
                 return self._batch_streamed(requests, seeds)
 
+        # One cache token for the whole batch, minted before any compute.
+        # On a mutable graph the token snapshots the current epoch: a
+        # vector computed while a mutation races this batch is stored
+        # under the *pre-mutation* token and can never answer a
+        # post-mutation lookup.
+        token = kernels.cache_token(self._epoch_graph)
+
         # Distinct seeds that truly need the online phase, in first-seen
         # order; everything else is a cache or intra-batch duplicate hit.
         scored: dict[int, np.ndarray | None] = {}
@@ -569,7 +633,7 @@ class Engine:
         for seed in seeds.tolist():
             if seed in scored:
                 continue
-            hit = self._cache_get(seed)
+            hit = self._cache_get(seed, token)
             if hit is not None:
                 scored[seed] = hit
                 self._hits += 1
@@ -584,8 +648,12 @@ class Engine:
             query_seeds = np.asarray(fresh, dtype=np.int64)
             if self._reordering is not None:
                 query_seeds = self._reordering.to_reordered[query_seeds]
+            x0 = self._warm_hints(fresh)
             begin = time.perf_counter()
-            matrix = self._method.query_many(query_seeds)
+            if x0 is not None:
+                matrix = self._method.query_many(query_seeds, x0=x0)
+            else:
+                matrix = self._method.query_many(query_seeds)
             elapsed = time.perf_counter() - begin
             per_query_seconds = elapsed / len(fresh)
             self._online_seconds += elapsed
@@ -598,7 +666,7 @@ class Engine:
                     vector = self._reordering.scores_to_original(vector)
                 vector = np.ascontiguousarray(vector)
                 if self._score_cache is not None:
-                    self._cache_put(seed, vector)
+                    self._cache_put(seed, vector, token)
                 scored[seed] = vector
 
         bytes_resident = self._method.preprocessed_bytes()
@@ -627,6 +695,40 @@ class Engine:
                 )
         self._queries_served += len(results)
         return results
+
+    def _warm_hints(self, fresh: list[int]) -> np.ndarray | None:
+        """Per-seed ``x0`` guesses scavenged from stale cache entries.
+
+        Only applies on a mutable substrate with warm starting on, a
+        cache attached, and a method that
+        :attr:`~repro.method.PPRMethod.supports_warm_start`.  Returns
+        the ``(len(fresh), n)`` guess matrix in the *serving* id space,
+        or ``None`` when nothing applies.  Rows without a hint stay
+        zero — an all-zero ``x0`` column reproduces the cold iteration
+        bitwise, so mixed batches are safe.
+        """
+        if (
+            not self._warm_start
+            or self._epoch_graph is None
+            or self._score_cache is None
+            or not getattr(self._method, "supports_warm_start", False)
+        ):
+            return None
+        n = self._method.graph.num_nodes
+        x0 = None
+        for row, seed in enumerate(fresh):
+            hint = self._score_cache.warm_hint(seed)
+            if hint is None or hint.shape != (n,):
+                continue
+            if x0 is None:
+                x0 = np.zeros((len(fresh), n), dtype=kernels.compute_dtype())
+            if self._reordering is not None:
+                # Cached vectors live in the caller's id space; gather
+                # them back into serving order for the iteration.
+                x0[row] = hint[self._reordering.to_original]
+            else:
+                x0[row] = hint
+        return x0
 
     def _rank(
         self, vector: np.ndarray, seed: int, request: QueryRequest
@@ -780,6 +882,7 @@ class Engine:
         if self._reordering is not None:
             seeds_arr = self._reordering.to_reordered[seeds_arr]
         with self._lock:
+            self._sync_epoch()
             block = self._resolve_stream_block()
             begin = time.perf_counter()
             if seeds_arr.size <= block:
@@ -811,13 +914,17 @@ class Engine:
     # entries computed under a different backend never masquerade as the
     # current one's.
 
-    def _cache_get(self, seed: int) -> np.ndarray | None:
+    def _cache_get(
+        self, seed: int, token: str | None = None
+    ) -> np.ndarray | None:
         if self._score_cache is None:
             return None
-        return self._score_cache.get(seed)
+        return self._score_cache.get(seed, token)
 
-    def _cache_put(self, seed: int, vector: np.ndarray) -> None:
-        self._score_cache.put(seed, vector)
+    def _cache_put(
+        self, seed: int, vector: np.ndarray, token: str | None = None
+    ) -> None:
+        self._score_cache.put(seed, vector, token)
 
     def clear_cache(self) -> None:
         """Drop every cached score vector."""

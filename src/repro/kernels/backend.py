@@ -201,26 +201,39 @@ def set_shard_annotation(tag: str | None) -> str | None:
     return previous
 
 
-def cache_token() -> str:
+def cache_token(graph=None) -> str:
     """Opaque token identifying the numeric configuration of results.
 
     Two runs with equal tokens compute with the same backend, tiling
-    configuration, sharding, and dtype, so their score vectors are
-    interchangeable; score caches (e.g. the
+    configuration, sharding, *graph generation*, and dtype, so their
+    score vectors are interchangeable; score caches (e.g. the
     :class:`~repro.engine.Engine` LRU) must key on this so a float32 run
     never serves cached float64 vectors (or vice versa).  The tile and
     shard components (see :mod:`repro.kernels.tiling` and
     :mod:`repro.sharding`) keep caches honest about *how* results were
     produced even though tiled, sharded, and plain products are bitwise
     identical by contract.
+
+    ``graph`` optionally supplies the substrate results were computed
+    on.  A static graph (or ``None``) contributes the constant
+    ``graph-static`` component; a mutable substrate exposing
+    ``epoch_token()`` (:class:`repro.dynamic.DynamicGraph`) contributes
+    ``graph-<epoch_token>``, which changes on **every** mutation and
+    compaction — so a mutated graph can never hit a pre-update cache
+    entry.  While mutations are pending the epoch token carries an
+    ``~overlay-1e-12`` suffix naming the documented overlay accuracy
+    tier (:data:`repro.dynamic.OVERLAY_TOLERANCE`), the same way the
+    dtype component already names the float32 tier.
     """
     from repro.kernels.tiling import tile_token
 
     shard = "shard-none" if _shard_annotation is None else (
         f"shard-{_shard_annotation}"
     )
+    epoch = getattr(graph, "epoch_token", None)
+    generation = "graph-static" if epoch is None else f"graph-{epoch()}"
     return (
-        f"{_active_backend}:{tile_token()}:{shard}:"
+        f"{_active_backend}:{tile_token()}:{shard}:{generation}:"
         f"{np.dtype(_compute_dtype).name}"
     )
 

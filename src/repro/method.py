@@ -24,7 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import NotPreprocessedError
+from repro.exceptions import NotPreprocessedError, ParameterError
 from repro.graph.graph import Graph
 from repro.kernels import Workspace, select_top_k, select_top_k_many
 
@@ -134,6 +134,13 @@ class PPRMethod(ABC):
 
     #: Human-readable method name used in reports (e.g. ``"TPA"``).
     name: str = "abstract"
+
+    #: Whether the online phase accepts ``x0=`` fixed-point guesses
+    #: (see :meth:`query_many`).  Methods whose online phase iterates to
+    #: a convergence tolerance (CPI) opt in; truncated-series methods
+    #: (TPA's fixed-length family sweep) cannot — their warm restart
+    #: lives in re-preprocessing instead.
+    supports_warm_start: bool = False
 
     def __init__(self) -> None:
         self._graph: Graph | None = None
@@ -255,7 +262,11 @@ class PPRMethod(ABC):
         """Return the length-``n`` approximate RWR score vector for ``seed``."""
         return self._query(self.validate_seed(seed))
 
-    def query_many(self, seeds: Sequence[int] | np.ndarray) -> np.ndarray:
+    def query_many(
+        self,
+        seeds: Sequence[int] | np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Score a whole seed batch: returns a ``(len(seeds), n)`` matrix.
 
         Row ``i`` equals ``query(seeds[i])``.  The base implementation
@@ -263,10 +274,29 @@ class PPRMethod(ABC):
         BRPPR/RPPR, NB_LIN, BEAR, BePI) override :meth:`_query_many` to
         propagate the whole seed matrix at once, which is the batched
         engine's headline speedup.
+
+        ``x0`` optionally warm-starts the batch from per-seed guesses of
+        the converged vectors (row ``i`` seeds ``seeds[i]``; an all-zero
+        row means a cold start for that seed).  Only methods with
+        :attr:`supports_warm_start` accept it — passing it to any other
+        method raises :class:`~repro.exceptions.ParameterError` rather
+        than silently ignoring the guess.
         """
         seeds_arr = self.validate_seeds(seeds)
         if seeds_arr.size == 0:
             return np.zeros((0, self.graph.num_nodes), dtype=np.float64)
+        if x0 is not None:
+            if not self.supports_warm_start:
+                raise ParameterError(
+                    f"{self.name} does not support x0 warm starts"
+                )
+            x0 = np.asarray(x0)
+            if x0.shape != (seeds_arr.size, self.graph.num_nodes):
+                raise ParameterError(
+                    f"x0 must have shape ({seeds_arr.size}, "
+                    f"{self.graph.num_nodes}); got {x0.shape}"
+                )
+            return self._query_many(seeds_arr, x0=x0)
         return self._query_many(seeds_arr)
 
     def top_k(self, seed: int, k: int, exclude_seed: bool = True,

@@ -86,10 +86,19 @@ class ScoreCache:
                     "incompatible engines would cross-serve vectors"
                 )
 
-    def get(self, seed: int) -> np.ndarray | None:
+    def get(self, seed: int, token: str | None = None) -> np.ndarray | None:
         """The cached read-only vector for ``seed`` under the current
-        kernel configuration, or ``None``.  Counts a hit or a miss."""
-        key = (seed, kernels.cache_token())
+        kernel configuration, or ``None``.  Counts a hit or a miss.
+
+        ``token`` optionally supplies a precomputed
+        :func:`repro.kernels.cache_token` — engines serving a mutable
+        graph mint one token per batch (carrying the graph epoch) and
+        use it for both :meth:`get` and :meth:`put`, so a vector
+        computed while a mutation raced the batch lands under the
+        *pre-mutation* token and is unreachable from any post-mutation
+        lookup.
+        """
+        key = (seed, kernels.cache_token() if token is None else token)
         with self._lock:
             vector = self._entries.get(key)
             if vector is None:
@@ -99,17 +108,39 @@ class ScoreCache:
             self._hits += 1
             return vector
 
-    def put(self, seed: int, vector: np.ndarray) -> None:
+    def put(
+        self, seed: int, vector: np.ndarray, token: str | None = None
+    ) -> None:
         """Cache ``vector`` for ``seed``, evicting LRU entries past
         capacity.  The array is marked read-only in place."""
         vector.setflags(write=False)
-        key = (seed, kernels.cache_token())
+        key = (seed, kernels.cache_token() if token is None else token)
         with self._lock:
             self._entries[key] = vector
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+
+    def warm_hint(self, seed: int) -> np.ndarray | None:
+        """The most recently cached vector for ``seed`` under *any*
+        token, or ``None``.
+
+        Unlike :meth:`get` this ignores the configuration token, so the
+        returned vector may be stale — computed on a pre-mutation graph
+        generation — and must never be served as an answer.  It is the
+        warm-start iterate (``x0``) the Engine hands a
+        ``supports_warm_start`` method after an epoch change: a stale
+        converged vector is an excellent first guess for the post-update
+        fixed point.  Counts neither a hit nor a miss, and does not
+        touch LRU order.
+        """
+        with self._lock:
+            best = None
+            for (cached_seed, _token), vector in self._entries.items():
+                if cached_seed == seed:
+                    best = vector  # insertion order: last match is newest
+            return best
 
     def clear(self) -> None:
         """Drop every cached vector (counters are kept)."""

@@ -126,6 +126,18 @@ def shard_engine(
         # graph, exactly as on the source engine.
         clone._original_graph = engine.graph
         clone._score_cache = engine.cache
+        clone._warm_start = engine._warm_start
+        epoch_graph = engine.graph
+        clone._epoch_graph = (
+            epoch_graph
+            if callable(getattr(epoch_graph, "epoch_token", None))
+            else None
+        )
+        clone._synced_epoch_token = (
+            clone._epoch_graph.epoch_token()
+            if clone._epoch_graph is not None
+            else None
+        )
         clone._hits = 0
         clone._misses = 0
         clone._queries_served = 0

@@ -103,9 +103,12 @@ class ShardedOperator:
         self._n = int(graph.num_nodes)
         self._step_timeout = float(step_timeout)
         self._steps = 0
+        self._republishes = 0
         self._closed = False
         # Dangling data is copied out of the source so the correction
         # never touches it mid-sweep (and DiskGraph sources stay cold).
+        # Mutable substrates are the exception: their dangling set moves
+        # with the overlay, so it is re-read live each sweep.
         dangling = getattr(graph, "dangling_nodes", None)
         self._dangling = (
             np.array(dangling, dtype=np.int64)
@@ -113,7 +116,18 @@ class ShardedOperator:
             else np.empty(0, dtype=np.int64)
         )
         self._dangling_policy = getattr(graph, "dangling_policy", "error")
-        self._store = ShardStore.build(graph, plan, panel_cols=panel_cols)
+        # A mutable substrate (repro.dynamic.DynamicGraph or its permuted
+        # view) publishes its immutable *base* into shared memory; the
+        # overlay delta is folded in router-side each sweep, and a
+        # compaction triggers a partial stripe republish (see _sweep).
+        self._dynamic = callable(getattr(graph, "base_snapshot", None))
+        if self._dynamic:
+            self._published_epoch, publish_source = graph.base_snapshot()
+        else:
+            self._published_epoch, publish_source = 0, graph
+        self._store = ShardStore.build(
+            publish_source, plan, panel_cols=panel_cols
+        )
         method = (
             start_method if start_method is not None
             else _default_start_method()
@@ -225,26 +239,117 @@ class ShardedOperator:
             out = np.empty(x.shape, dtype=dtype)
 
         backend = kernels.get_backend()
-        if x.ndim == 1:
-            self._dispatch_chunk(x, out, 0, dtype, decay, backend)
-        else:
-            width = self._store.panel_cols
-            for start in range(0, x.shape[1], width):
-                stop = min(start + width, x.shape[1])
-                # Column slices go to the panel copy as-is: np.copyto
-                # handles the strided source, so no staging copy here.
-                self._dispatch_chunk(
-                    x[:, start:stop], out[:, start:stop],
-                    stop - start, dtype, decay, backend,
-                )
-        if self._dangling.size and self._dangling_policy == "uniform":
-            leaked = x[self._dangling].sum(axis=0)
-            if np.any(leaked != 0.0):
-                if decay is None:
-                    out += leaked / self._n
-                else:
-                    out += (decay / self._n) * leaked
+        # Dynamic sources may be compacted concurrently: each attempt
+        # pins one published base epoch, computes against it, and retries
+        # if a compaction republished the stripes mid-sweep — so a sweep
+        # never mixes two bases' stripes in one result.
+        for _attempt in range(4):
+            published = self._published_epoch
+            if self._dynamic:
+                self._maybe_republish()
+                published = self._published_epoch
+            if x.ndim == 1:
+                self._dispatch_chunk(x, out, 0, dtype, decay, backend)
+            else:
+                width = self._store.panel_cols
+                for start in range(0, x.shape[1], width):
+                    stop = min(start + width, x.shape[1])
+                    # Column slices go to the panel copy as-is: np.copyto
+                    # handles the strided source, so no staging copy here.
+                    self._dispatch_chunk(
+                        x[:, start:stop], out[:, start:stop],
+                        stop - start, dtype, decay, backend,
+                    )
+            if self._dynamic and getattr(self._source, "dirty", False):
+                # Fold the overlay delta router-side: workers only ever
+                # see the immutable published base, so pending edits are
+                # one dense-x-sparse product away, never a republish.
+                self._source.apply_delta(x, decay, out)
+            dangling, policy = self._live_dangling()
+            if dangling.size and policy == "uniform":
+                leaked = x[dangling].sum(axis=0)
+                if np.any(leaked != 0.0):
+                    if decay is None:
+                        out += leaked / self._n
+                    else:
+                        out += (decay / self._n) * leaked
+            if not self._dynamic or self._source.base_epoch == published:
+                break
         return out
+
+    def _live_dangling(self) -> tuple[np.ndarray, str]:
+        """The dangling set the correction must use *now* — re-read from
+        a mutable source (edits move it), the construction-time copy
+        otherwise."""
+        if not self._dynamic:
+            return self._dangling, self._dangling_policy
+        dangling = self._source.dangling_nodes
+        if len(dangling):
+            return (
+                np.asarray(dangling, dtype=np.int64), self._dangling_policy
+            )
+        return np.empty(0, dtype=np.int64), self._dangling_policy
+
+    # -- dynamic-source republish ------------------------------------------------
+
+    def republish(self) -> bool:
+        """Re-publish stripes if the source was compacted since the last
+        publish; returns whether a republish happened.  Sweeps call this
+        automatically — it is public for tests and eager callers."""
+        if self._closed:
+            raise RuntimeError("sharded operator is closed")
+        if not self._dynamic:
+            return False
+        return self._maybe_republish()
+
+    def _maybe_republish(self) -> bool:
+        epoch, base = self._source.base_snapshot()
+        if epoch == self._published_epoch:
+            return False
+        # Only stripes holding compaction-dirty rows are re-extracted;
+        # clean stripes are copied segment-to-segment inside build().
+        rows = self._source.dirty_rows_since(self._published_epoch)
+        if rows is None:
+            # Compaction history no longer reaches the published epoch —
+            # rebuild everything.
+            new_store = ShardStore.build(
+                base, self._plan, panel_cols=self._store.panel_cols
+            )
+        else:
+            begins = np.array(
+                [
+                    self._plan.shard_rows(shard)[0]
+                    for shard in range(self._plan.num_shards)
+                ],
+                dtype=np.int64,
+            )
+            dirty_shards = np.unique(
+                np.searchsorted(begins, rows, side="right") - 1
+            )
+            new_store = ShardStore.build(
+                base,
+                self._plan,
+                panel_cols=self._store.panel_cols,
+                previous=self._store,
+                dirty_shards=dirty_shards.tolist(),
+            )
+        try:
+            # Every worker rebinds (the panels moved with the store); the
+            # old segments are only unlinked once all replies are in, so
+            # no worker ever computes against a vanished mapping.
+            for worker, spec in zip(self._workers, new_store.specs):
+                worker.send_remap(
+                    spec, new_store.segment_names, self._step_timeout
+                )
+        except BaseException:
+            new_store.close()
+            raise
+        old_store = self._store
+        self._store = new_store
+        self._published_epoch = epoch
+        self._republishes += 1
+        old_store.close()
+        return True
 
     def _dispatch_chunk(
         self,
@@ -278,6 +383,8 @@ class ShardedOperator:
             "shard_nnz": [spec.nnz for spec in self._store.specs],
             "shared_bytes": self._store.nbytes(),
             "steps": self._steps,
+            "republishes": self._republishes,
+            "published_epoch": self._published_epoch,
             "workers_alive": sum(
                 1 for worker in self._workers if worker.alive
             ),

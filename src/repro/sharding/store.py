@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
+from types import SimpleNamespace
 
 import numpy as np
 import scipy.sparse as sp
@@ -104,25 +105,30 @@ def attach_segment(
     return segment
 
 
-def _operator_stripes(graph, plan: ShardPlan):
-    """Yield ``(spec_rows, csr_stripe)`` per shard of ``plan``.
+def _operator_stripes(graph, plan: ShardPlan, shards=None):
+    """Yield ``(shard, spec_rows, csr_stripe)`` per shard of ``plan``.
 
     In-memory graphs slice ``transition_transpose`` directly; duck-typed
     substrates with their own striping (``DiskGraph``) are re-sliced to
-    plan boundaries one stored stripe at a time.
+    plan boundaries one stored stripe at a time.  ``shards`` optionally
+    restricts extraction to a subset (the dirty shards of a partial
+    republish) — untouched stripes are never sliced at all.
     """
+    shard_ids = (
+        range(plan.num_shards) if shards is None else sorted(shards)
+    )
     operator = getattr(graph, "transition_transpose", None)
     if operator is not None:
-        for shard in range(plan.num_shards):
+        for shard in shard_ids:
             begin, end = plan.shard_rows(shard)
-            yield (begin, end), operator[begin:end]
+            yield shard, (begin, end), operator[begin:end]
         return
     if not hasattr(graph, "stripe_operator"):
         raise ParameterError(
             f"{type(graph).__name__} exposes neither transition_transpose "
             "nor stripe_operator; cannot build shard stripes"
         )
-    for shard in range(plan.num_shards):
+    for shard in shard_ids:
         begin, end = plan.shard_rows(shard)
         parts = []
         for stored in range(graph.num_stripes):
@@ -138,7 +144,7 @@ def _operator_stripes(graph, plan: ShardPlan):
             if len(parts) == 1
             else sp.vstack(parts, format="csr")
         )
-        yield (begin, end), sp.csr_array(stripe)
+        yield shard, (begin, end), sp.csr_array(stripe)
 
 
 class ShardStore:
@@ -172,9 +178,21 @@ class ShardStore:
         graph,
         plan: ShardPlan,
         panel_cols: int = DEFAULT_PANEL_COLS,
+        previous: "ShardStore | None" = None,
+        dirty_shards=None,
     ) -> "ShardStore":
         """Publish ``graph``'s operator stripes for ``plan`` into shared
-        memory and size the iterate panels for ``panel_cols`` columns."""
+        memory and size the iterate panels for ``panel_cols`` columns.
+
+        ``previous`` with ``dirty_shards`` enables the partial republish
+        a dynamic-graph compaction needs: only the named shards' stripes
+        are re-extracted from ``graph``; every clean stripe is copied
+        byte for byte from the previous store's segment (the source of
+        truth for rows no mutation touched), so republish cost scales
+        with the edited stripes, not the graph.  The new store is fully
+        independent — the previous one stays valid until its own
+        ``close()``.
+        """
         n = graph.num_nodes
         if plan.num_rows != n:
             raise ParameterError(
@@ -183,10 +201,42 @@ class ShardStore:
         if panel_cols < 1:
             raise ParameterError("panel_cols must be at least 1")
 
-        stripes = list(_operator_stripes(graph, plan))
+        if previous is not None and dirty_shards is not None:
+            if previous.closed:
+                raise ParameterError(
+                    "cannot reuse stripes from a closed ShardStore"
+                )
+            old_specs = previous.specs
+            if len(old_specs) != plan.num_shards or any(
+                (spec.row_begin, spec.row_end) != plan.shard_rows(shard)
+                for shard, spec in enumerate(old_specs)
+            ):
+                raise ParameterError(
+                    "previous store's stripe boundaries do not match the "
+                    "plan; partial republish needs an identical ShardPlan"
+                )
+            dirty = {int(shard) for shard in dirty_shards}
+            fresh = {
+                shard: stripe
+                for shard, _rows, stripe in _operator_stripes(
+                    graph, plan, shards=dirty
+                )
+            }
+            stripes = [
+                (
+                    shard,
+                    plan.shard_rows(shard),
+                    fresh[shard]
+                    if shard in dirty
+                    else previous.stripe_arrays(shard),
+                )
+                for shard in range(plan.num_shards)
+            ]
+        else:
+            stripes = list(_operator_stripes(graph, plan))
         layout: list[dict] = []
         offset = 0
-        for (begin, end), stripe in stripes:
+        for _shard, (begin, end), stripe in stripes:
             entry = {}
             for part in ("indptr", "indices", "data"):
                 array = getattr(stripe, part)
@@ -198,7 +248,7 @@ class ShardStore:
             create=True, size=max(offset, 1)
         )
         specs: list[StripeSpec] = []
-        for shard, ((begin, end), stripe) in enumerate(stripes):
+        for shard, (begin, end), stripe in stripes:
             entry = layout[shard]
             for part in ("indptr", "indices", "data"):
                 off, count, dtype = entry[part]
@@ -242,6 +292,23 @@ class ShardStore:
     @property
     def panel_cols(self) -> int:
         return self._panel_cols
+
+    def stripe_arrays(self, shard: int) -> SimpleNamespace:
+        """Zero-copy CSR-array views over one shard's published stripe.
+
+        The returned namespace quacks like the ``csr_array`` stripes
+        :meth:`build` extracts (``indptr`` / ``indices`` / ``data`` /
+        ``nnz``), which is exactly how a partial republish copies clean
+        stripes from the live store without touching the graph.
+        """
+        spec = self._specs[shard]
+        views = {}
+        for part in ("indptr", "indices", "data"):
+            off, count, dtype = spec.arrays[part]
+            views[part] = np.ndarray(
+                (count,), dtype=dtype, buffer=self._operator.buf, offset=off
+            )
+        return SimpleNamespace(nnz=spec.nnz, **views)
 
     @property
     def segment_names(self) -> tuple[str, str, str]:

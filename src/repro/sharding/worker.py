@@ -71,49 +71,75 @@ def shard_worker_main(
     """
     from repro import kernels
 
-    operator_shm = panel_x = panel_y = None
-    views: list = []
-    scaled_cache: dict[tuple[float | None, str], sp.csr_array] = {}
-    try:
-        kernels.set_shard_annotation(f"{payload['shard']}/{num_shards}")
-        kernels.set_backend(backend)
+    # Mutable binding state: the "remap" command (a partial republish
+    # after a dynamic-graph compaction) swaps the worker onto a new
+    # store's segments mid-serve, so everything derived from the mapped
+    # buffers lives here rather than in loop-invariant locals.
+    state: dict = {"segments": (), "views": (), "cache": {}}
+
+    def unbind() -> None:
+        # Views into the buffers must die before the mappings close.
+        state["views"] = ()
+        state["cache"] = {}
+        for segment in state["segments"]:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - interpreter exit
+                pass
+        state["segments"] = ()
+
+    def bind(spec: dict, names: tuple) -> None:
+        unbind()
         # Workers inherit the creator's resource tracker (fork and spawn
         # alike), so attaching must not disturb its bookkeeping — see
         # attach_segment.
-        operator_shm = attach_segment(segments[0])
-        panel_x = attach_segment(segments[1])
-        panel_y = attach_segment(segments[2])
-
-        rows = payload["row_end"] - payload["row_begin"]
+        operator_shm = attach_segment(names[0])
+        panel_x = attach_segment(names[1])
+        panel_y = attach_segment(names[2])
+        state["segments"] = (operator_shm, panel_x, panel_y)
+        rows = spec["row_end"] - spec["row_begin"]
         indptr = np.ndarray(
-            (rows + 1,), dtype=payload["index_dtype"],
-            buffer=operator_shm.buf, offset=payload["indptr_offset"],
+            (rows + 1,), dtype=spec["index_dtype"],
+            buffer=operator_shm.buf, offset=spec["indptr_offset"],
         )
         indices = np.ndarray(
-            (payload["nnz"],), dtype=payload["index_dtype"],
-            buffer=operator_shm.buf, offset=payload["indices_offset"],
+            (spec["nnz"],), dtype=spec["index_dtype"],
+            buffer=operator_shm.buf, offset=spec["indices_offset"],
         )
         base_data = np.ndarray(
-            (payload["nnz"],), dtype=np.float64,
-            buffer=operator_shm.buf, offset=payload["data_offset"],
+            (spec["nnz"],), dtype=np.float64,
+            buffer=operator_shm.buf, offset=spec["data_offset"],
         )
-        n = payload["num_cols"]
-        begin, end = payload["row_begin"], payload["row_end"]
-        views.extend((indptr, indices, base_data))
+        state["views"] = (indptr, indices, base_data)
+        n = spec["num_cols"]
+        cache: dict = {}
+        state["cache"] = cache
 
         def stripe_for(decay: float | None, dtype: np.dtype) -> sp.csr_array:
             key = (decay, dtype.name)
-            stripe = scaled_cache.get(key)
+            stripe = cache.get(key)
             if stripe is None:
                 stripe = sp.csr_array(
                     (kernels.scaled_values(base_data, decay, dtype),
                      indices, indptr),
                     shape=(rows, n),
                 )
-                scaled_cache[key] = stripe
+                cache[key] = stripe
             return stripe
 
-        conn.send(("ready", payload["shard"]))
+        state["stripe_for"] = stripe_for
+        state["n"] = n
+        state["begin"] = spec["row_begin"]
+        state["end"] = spec["row_end"]
+        state["panel_x"] = panel_x
+        state["panel_y"] = panel_y
+
+    try:
+        shard = payload["shard"]
+        kernels.set_shard_annotation(f"{shard}/{num_shards}")
+        kernels.set_backend(backend)
+        bind(payload, segments)
+        conn.send(("ready", shard))
         while True:
             try:
                 command = conn.recv()
@@ -125,7 +151,12 @@ def shard_worker_main(
                     conn.send(("ok", None))
                     return
                 if verb == "ping":
-                    conn.send(("ok", payload["shard"]))
+                    conn.send(("ok", shard))
+                    continue
+                if verb == "remap":
+                    _, new_payload, new_segments = command
+                    bind(new_payload, new_segments)
+                    conn.send(("ok", shard))
                     continue
                 if verb != "step":
                     raise ValueError(f"unknown shard command {verb!r}")
@@ -133,7 +164,10 @@ def shard_worker_main(
                 if want_backend != kernels.get_backend():
                     kernels.set_backend(want_backend)
                 dtype = np.dtype(dtype_name)
-                stripe = stripe_for(decay, dtype)
+                stripe = state["stripe_for"](decay, dtype)
+                n = state["n"]
+                begin, end = state["begin"], state["end"]
+                panel_x, panel_y = state["panel_x"], state["panel_y"]
                 if ncols == 0:
                     x = np.ndarray((n,), dtype=dtype, buffer=panel_x.buf)
                     y = np.ndarray((n,), dtype=dtype, buffer=panel_y.buf)
@@ -150,15 +184,7 @@ def shard_worker_main(
             except Exception:  # noqa: BLE001 - forwarded to the router
                 conn.send(("err", traceback.format_exc()))
     finally:
-        # Views into the buffers must die before the mappings close.
-        views.clear()
-        scaled_cache.clear()
-        for segment in (operator_shm, panel_x, panel_y):
-            if segment is not None:
-                try:
-                    segment.close()
-                except Exception:  # pragma: no cover - interpreter exit
-                    pass
+        unbind()
         try:
             conn.close()
         except Exception:  # pragma: no cover
@@ -222,6 +248,20 @@ class ShardWorker:
         self, ncols: int, dtype: np.dtype, decay: float | None, backend: str
     ) -> None:
         self._conn.send(("step", ncols, np.dtype(dtype).name, decay, backend))
+
+    def send_remap(
+        self, spec: StripeSpec, segments: tuple[str, str, str],
+        timeout: float,
+    ) -> None:
+        """Rebind the worker onto a republished store's segments.
+
+        The worker drops its stripe views and scaled-value cache,
+        detaches the old segments, and attaches the new ones; the reply
+        is awaited so the caller knows the old store can be closed.
+        """
+        self.spec = spec
+        self._conn.send(("remap", _spec_payload(spec), segments))
+        self.wait_ok(timeout)
 
     def ping(self, timeout: float) -> None:
         self._conn.send(("ping",))

@@ -1,0 +1,244 @@
+"""Dynamic graphs under the sharded serving stack.
+
+The acceptance surface of the delta-overlay subsystem at deployment
+scale: a :class:`~repro.sharding.Router` keeps answering correctly while
+the graph underneath it mutates and compacts (the operator republishes
+only the shard stripes the compaction dirtied, under an epoch swap the
+in-flight sweep retries across), every worker rebinds onto the new
+shared segments, and closing the stack releases every ``/dev/shm``
+segment of every store generation.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import (
+    CPIMethod,
+    Engine,
+    Graph,
+    QueryRequest,
+    Router,
+    TPA,
+    community_graph,
+    cpi,
+)
+from repro.dynamic import DynamicGraph
+from repro.sharding.operator import ShardedOperator
+from repro.sharding.plan import ShardPlan
+from repro.sharding.store import ShardStore
+
+
+def _uniform_graph(n=240, seed=5):
+    generated = community_graph(n, avg_degree=6, num_communities=4, seed=seed)
+    src, dst = generated.edges()
+    return Graph(n, src, dst, dangling="uniform")
+
+
+def _fresh_like(dyn):
+    src, dst = dyn.edges()
+    return Graph(
+        dyn.num_nodes, src, dst, dangling=dyn.dangling_policy
+    )
+
+
+def assert_no_segments(names) -> None:
+    for name in names:
+        assert not os.path.exists("/dev/shm/" + name.lstrip("/")), name
+
+
+class TestShardedOperatorDynamic:
+    def test_clean_overlay_and_compacted_products(self):
+        base = _uniform_graph()
+        dyn = DynamicGraph(base)
+        plan = ShardPlan.uniform(base.num_nodes, 3)
+        rng = np.random.default_rng(2)
+        x = rng.random(base.num_nodes)
+        with ShardedOperator(dyn, plan) as operator:
+            # Clean: the sharded sweep is bitwise the local one.
+            assert np.array_equal(operator.propagate(x), base.propagate(x))
+
+            dyn.add_edges([(3, 140), (140, 3), (7, 220)])
+            dyn.remove_edges([(3, 140)])
+            # Overlay mode: base sweep through the workers plus the same
+            # delta fold the local dynamic product applies.
+            assert np.array_equal(operator.propagate(x), dyn.propagate(x))
+            stats = operator.shard_stats()
+            assert stats["republishes"] == 0
+
+            dyn.compact()
+            got = operator.propagate(x)
+            stats = operator.shard_stats()
+            assert stats["republishes"] == 1
+            assert stats["published_epoch"] == dyn.base_epoch
+            fresh = _fresh_like(dyn)
+            assert np.array_equal(got, fresh.propagate(x))
+            names = operator._store.segment_names
+        assert_no_segments(names)
+
+    def test_decayed_product_across_republish(self):
+        base = _uniform_graph(n=180, seed=9)
+        dyn = DynamicGraph(base)
+        plan = ShardPlan.uniform(base.num_nodes, 2)
+        rng = np.random.default_rng(3)
+        x = rng.random((base.num_nodes, 4))
+        with ShardedOperator(dyn, plan) as operator:
+            assert np.array_equal(
+                operator.propagate_decayed(x, 0.85),
+                base.propagate_decayed(x, 0.85),
+            )
+            dyn.add_edges([(0, 99), (99, 0)])
+            dyn.compact()
+            fresh = _fresh_like(dyn)
+            assert np.array_equal(
+                operator.propagate_decayed(x, 0.85),
+                fresh.propagate_decayed(x, 0.85),
+            )
+            assert operator.shard_stats()["republishes"] == 1
+            names = operator._store.segment_names
+        assert_no_segments(names)
+
+    def test_multiple_epochs_republish_each_once(self):
+        base = _uniform_graph(n=150, seed=1)
+        dyn = DynamicGraph(base)
+        plan = ShardPlan.uniform(base.num_nodes, 2)
+        x = np.linspace(0.0, 1.0, base.num_nodes)
+        with ShardedOperator(dyn, plan) as operator:
+            for step in range(3):
+                dyn.add_edges([(step, 100 + step)])
+                dyn.compact()
+                fresh = _fresh_like(dyn)
+                assert np.array_equal(
+                    operator.propagate(x), fresh.propagate(x)
+                )
+            assert operator.shard_stats()["republishes"] == 3
+            names = operator._store.segment_names
+        assert_no_segments(names)
+
+
+class TestPartialRepublishStore:
+    def test_partial_build_matches_full_rebuild(self):
+        before = _uniform_graph(n=200, seed=4)
+        dyn = DynamicGraph(before)
+        plan = ShardPlan.uniform(200, 4)
+        old = ShardStore.build(before, plan)
+        try:
+            dyn.add_edges([(0, 150), (150, 0)])
+            rows = dyn.compact()
+            after = _fresh_like(dyn)
+            begins = np.array(
+                [plan.shard_rows(s)[0] for s in range(plan.num_shards)]
+            )
+            dirty = np.unique(np.searchsorted(begins, rows, side="right") - 1)
+            assert 0 < dirty.size < plan.num_shards
+            partial = ShardStore.build(
+                after, plan, previous=old, dirty_shards=dirty
+            )
+            full = ShardStore.build(after, plan)
+            try:
+                for shard in range(plan.num_shards):
+                    got = partial.stripe_arrays(shard)
+                    want = full.stripe_arrays(shard)
+                    assert got.nnz == want.nnz
+                    for part in ("indptr", "indices", "data"):
+                        assert np.array_equal(
+                            getattr(got, part), getattr(want, part)
+                        )
+            finally:
+                partial.close()
+                full.close()
+        finally:
+            old.close()
+        assert_no_segments(old.segment_names)
+
+    def test_partial_build_rejects_closed_previous(self):
+        graph = _uniform_graph(n=100, seed=6)
+        plan = ShardPlan.uniform(100, 2)
+        store = ShardStore.build(graph, plan)
+        store.close()
+        with pytest.raises(Exception):
+            ShardStore.build(
+                graph, plan, previous=store, dirty_shards=[0]
+            )
+
+
+class TestRouterDynamic:
+    def test_router_across_mutations_and_compaction(self):
+        base = _uniform_graph(n=260, seed=7)
+        dyn = DynamicGraph(base)
+        requests = [QueryRequest(seed=s, k=8) for s in range(12)]
+        all_names = []
+        with Router(
+            CPIMethod(), dyn, num_shards=2, max_batch=8, max_wait_ms=1.0,
+        ) as router:
+            store = router.engine.shards._store
+            all_names.extend(store.segment_names)
+
+            def oracle():
+                return Engine(CPIMethod(), _fresh_like(dyn)).batch(requests)
+
+            def check_bitwise():
+                got = router.batch(requests)
+                want = oracle()
+                for expected, actual in zip(want, got):
+                    np.testing.assert_array_equal(
+                        expected.top_nodes, actual.top_nodes
+                    )
+                    np.testing.assert_array_equal(
+                        expected.top_scores, actual.top_scores
+                    )
+
+            check_bitwise()
+
+            dyn.add_edges([(1, 200), (200, 1), (30, 250)])
+            # Overlay mode: approximate tier, ids still agree with the
+            # rebuilt oracle well inside the documented tolerance.
+            got = router.batch([QueryRequest(seed=1)])[0].scores
+            want = cpi(dyn, seeds=1).scores
+            assert np.abs(got - want).sum() <= 1e-8
+
+            dyn.compact()
+            check_bitwise()
+            stats = router.engine.stats()["shards"]
+            assert stats["republishes"] >= 1
+            assert stats["published_epoch"] == dyn.base_epoch
+            all_names.extend(router.engine.shards._store.segment_names)
+        assert_no_segments(all_names)
+
+    def test_router_tpa_re_preprocesses_on_epoch_change(self):
+        base = _uniform_graph(n=220, seed=8)
+        dyn = DynamicGraph(base)
+        method = TPA(s_iteration=4, t_iteration=8)
+        with Router(
+            method, dyn, num_shards=2, max_batch=8,
+        ) as router:
+            router.batch([QueryRequest(seed=0, k=10)])
+            dyn.add_edges([(0, 180), (180, 0)])
+            dyn.compact()
+            got = router.batch([QueryRequest(seed=0, k=10)])[0]
+            fresh = TPA(s_iteration=4, t_iteration=8)
+            want = Engine(fresh, _fresh_like(dyn)).batch(
+                [QueryRequest(seed=0, k=10)]
+            )[0]
+            # Warm re-preprocess: same ids, scores inside the warm band.
+            assert set(got.top_nodes.tolist()) == set(want.top_nodes.tolist())
+            assert np.abs(got.top_scores - want.top_scores).max() <= 1e-6
+            names = router.engine.shards._store.segment_names
+        assert_no_segments(names)
+
+    def test_router_cache_disabled_path(self):
+        base = _uniform_graph(n=140, seed=10)
+        dyn = DynamicGraph(base)
+        with Router(
+            CPIMethod(), dyn, num_shards=2, cache_size=0,
+        ) as router:
+            first = router.batch([QueryRequest(seed=3)])[0].scores
+            dyn.add_edges([(3, 120)])
+            dyn.compact()
+            second = router.batch([QueryRequest(seed=3)])[0].scores
+            assert not np.array_equal(first, second)
+            want = cpi(dyn, seeds=3).scores
+            assert np.abs(second - want).sum() <= 2 * 1e-9 / 0.15
+            names = router.engine.shards._store.segment_names
+        assert_no_segments(names)
