@@ -12,9 +12,11 @@ appends a single JSON object — one line per run — to
     REPRO_KERNEL=numpy python benchmarks/record.py   # record the fallback
 
 Each entry carries the commit, backend, compute dtype, tile height,
-graph size, and wall-times, so the perf trajectory of the kernel layer
-is diffable across commits: filter to matching ``backend``/``graph``
-fields and compare ``queries_per_second_batched`` (end to end),
+graph size, the machine fingerprint
+(:func:`repro.tune.machine_fingerprint` — CPU model, core/NUMA
+topology, cgroup quota, library versions), and wall-times, so the perf
+trajectory of the kernel layer is diffable across commits: filter to
+matching ``backend``/``graph``/``machine`` fields and compare ``queries_per_second_batched`` (end to end),
 ``spmm_seconds``/``spmv_seconds`` (kernel level),
 ``spmm_tiled_seconds`` vs ``spmm_reordered_seconds`` (the hub-aware
 tiled schedule against the untiled product on the same
@@ -62,6 +64,7 @@ from repro.method import banned_mask, select_top_k  # noqa: E402
 from repro.dynamic import DynamicGraph, run_update_bench  # noqa: E402
 from repro.serving import Server, run_closed_loop  # noqa: E402
 from repro.sharding import Router  # noqa: E402
+from repro.tune import machine_fingerprint  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 
@@ -251,6 +254,9 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         "commit": _commit(),
         "backend": kernels.get_backend(),
         "compute_dtype": np.dtype(dtype).name,
+        # Trajectory entries are only comparable between runs whose
+        # machine fingerprints match — filter on this before diffing q/s.
+        "machine": machine_fingerprint().to_dict(),
         "graph": {
             "kind": "community",
             "nodes": graph.num_nodes,

@@ -84,6 +84,8 @@ Package map
   ``Engine.shard()``).
 * :mod:`repro.dynamic` — dynamic graphs (``DynamicGraph`` delta-overlay
   edge updates, epoch-aware cache repair, warm-restarted serving).
+* :mod:`repro.tune` — hardware autotuning (measured ``TuneProfile``
+  knobs cached per machine fingerprint) and core/NUMA pinning.
 * :mod:`repro.metrics` — L1 error, recall@k, memory and timing accounting.
 * :mod:`repro.analysis` — matrix-power densification and block-wise drift.
 * :mod:`repro.experiments` — one driver per paper table/figure
@@ -176,6 +178,8 @@ from repro import sharding
 from repro.sharding import Router, ShardPlan, ShardedEngine
 from repro import dynamic
 from repro.dynamic import DeltaOverlay, DynamicGraph, OVERLAY_TOLERANCE
+from repro import tune
+from repro.tune import MachineFingerprint, TuneProfile, autotune
 from repro.metrics import (
     l1_error,
     top_k,
@@ -280,5 +284,9 @@ __all__ = [
     "DeltaOverlay",
     "DynamicGraph",
     "OVERLAY_TOLERANCE",
+    "tune",
+    "MachineFingerprint",
+    "TuneProfile",
+    "autotune",
     "__version__",
 ]

@@ -7,8 +7,9 @@ Five subcommands::
     python -m repro query --graph edges.tsv --seeds @seeds.txt --batch
     python -m repro stats --graph edges.tsv
     python -m repro generate --dataset pokec --scale 0.5 --out pokec.tsv
+    python -m repro tune --json
     python -m repro serve-bench --nodes 20000 --workers 4 --clients 8
-    python -m repro shard-bench --nodes 20000 --shards 4 --clients 8
+    python -m repro shard-bench --nodes 20000 --shards 4 --clients 8 --tuned
     python -m repro update-bench --nodes 20000 --workers 4 --clients 8
 
 ``query`` reads a whitespace edge list, runs the chosen method through the
@@ -24,21 +25,28 @@ Methods are resolved via the registry
 ``generate`` writes one of the synthetic dataset analogs to disk as an
 edge list.
 
-``serve-bench`` stands up a :class:`repro.serving.Server` (worker pool
-of Engine replicas behind the micro-batching scheduler); ``shard-bench``
-stands up a :class:`repro.sharding.Router` (shard worker processes over
-shared-memory CSR stripes behind the same scheduler).  Both drive the
-closed-loop load generator and print the client-observed latency
-histogram plus p50/p95/p99 and throughput; ``--json`` additionally
-writes the report — one shared, versioned schema
-(:data:`repro.serving.metrics.REPORT_SCHEMA`) for both deployments, so
-CI's artifacts stay directly diffable.
+``tune`` measures this machine's kernel and serving knobs
+(:func:`repro.tune.autotune`) and caches the resulting
+:class:`~repro.tune.TuneProfile` under a hardware fingerprint — the
+second invocation reads the cache instead of re-measuring.
 
-``update-bench`` serves over a live :class:`repro.dynamic.DynamicGraph`
-instead: the same closed-loop clients run while a mutator thread applies
-edge-update batches (and periodic compactions), answering how many
-updates per second the deployment sustains at what query latency.  The
-report shares the same schema plus ``updates_*`` fields.
+The three benchmarks share one driver (:func:`_command_bench`) and one
+flag surface.  ``serve-bench`` stands up a
+:class:`repro.serving.Server` (worker pool of Engine replicas behind
+the micro-batching scheduler); ``shard-bench`` stands up a
+:class:`repro.sharding.Router` (shard worker processes over
+shared-memory CSR stripes behind the same scheduler); ``update-bench``
+serves over a live :class:`repro.dynamic.DynamicGraph` while a mutator
+thread applies edge-update batches.  All drive the closed-loop load
+generator and print the client-observed latency histogram plus
+p50/p95/p99 and throughput; ``--json`` additionally writes the report —
+one shared, versioned schema
+(:data:`repro.serving.metrics.REPORT_SCHEMA`) for every deployment, so
+CI's artifacts stay directly diffable.  ``--tuned [PATH]`` serves with
+a tuned profile (bare ``--tuned`` uses this machine's cached profile,
+measuring one if needed) and ``--pin`` / ``--no-pin`` controls core
+pinning; every knob the caller sets explicitly still wins over the
+profile.
 
 (The per-figure experiment harness lives under ``python -m
 repro.experiments``.)
@@ -111,9 +119,29 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("--out", required=True, help="destination path")
 
+    tune_cmd = commands.add_parser(
+        "tune",
+        help="measure this machine's kernel/serving knobs and cache them",
+    )
+    tune_cmd.add_argument("--graph",
+                          help="edge-list file to probe on "
+                               "(default: synthetic probe graph)")
+    tune_cmd.add_argument("--nodes", type=int, default=8000,
+                          help="synthetic probe-graph size")
+    tune_cmd.add_argument("--avg-degree", type=int, default=12,
+                          help="synthetic probe-graph mean degree")
+    tune_cmd.add_argument("--repeats", type=int, default=3,
+                          help="timing repetitions per grid cell")
+    tune_cmd.add_argument("--force", action="store_true",
+                          help="re-measure even when a cached profile exists")
+    tune_cmd.add_argument("--json", dest="json_out", nargs="?", const="-",
+                          metavar="PATH",
+                          help="emit the profile as JSON (to stdout, or to "
+                               "PATH)")
+
     def add_bench_arguments(bench) -> None:
-        """Flags shared by serve-bench and shard-bench — one benchmark
-        surface, two deployments."""
+        """Flags shared by all three benchmarks — one surface, one
+        driver (:func:`_command_bench`), three deployments."""
         source = bench.add_mutually_exclusive_group(required=True)
         source.add_argument("--graph", help="edge-list file to serve")
         source.add_argument("--nodes", type=int,
@@ -130,14 +158,28 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="requests per client")
         bench.add_argument("--top", type=int, default=10,
                            help="top-k of every request")
-        bench.add_argument("--max-batch", type=int, default=32)
-        bench.add_argument("--max-wait-ms", type=float, default=2.0)
+        bench.add_argument("--max-batch", type=int, default=None,
+                           help="scheduler micro-batch cap "
+                                "(default: tuned profile, else 32)")
+        bench.add_argument("--max-wait-ms", type=float, default=None,
+                           help="scheduler coalescing window "
+                                "(default: tuned profile, else 2.0)")
         bench.add_argument("--max-pending", type=int, default=1024)
         bench.add_argument("--cache", type=int, default=0,
                            help="shared score-cache capacity (0 = off)")
         bench.add_argument("--seed-pool", type=int, default=256,
                            help="distinct seeds the load generator cycles "
                                 "over")
+        bench.add_argument("--tuned", nargs="?", const="auto", default=None,
+                           metavar="PATH",
+                           help="serve with a tuned profile: bare --tuned "
+                                "loads (measuring if absent) this machine's "
+                                "cached profile, --tuned PATH loads a saved "
+                                "one; explicit flags still win")
+        bench.add_argument("--pin", action=argparse.BooleanOptionalAction,
+                           default=None,
+                           help="pin workers/shards to distinct cores "
+                                "(default: pin exactly when --tuned)")
         bench.add_argument("--json", dest="json_out",
                            help="also write the report as JSON to this path")
 
@@ -146,16 +188,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="closed-loop load test of the concurrent serving stack",
     )
     add_bench_arguments(bench)
-    bench.add_argument("--workers", type=int, default=2,
-                       help="worker threads (one Engine replica each)")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker threads, one Engine replica each "
+                            "(default: tuned profile, else 2)")
 
     shard = commands.add_parser(
         "shard-bench",
         help="closed-loop load test of the sharded multi-process router",
     )
     add_bench_arguments(shard)
-    shard.add_argument("--shards", type=int, default=2,
-                       help="shard worker processes (one row stripe each)")
+    shard.add_argument("--shards", type=int, default=None,
+                       help="shard worker processes, one row stripe each "
+                            "(default: tuned profile, else 2)")
     shard.add_argument("--reorder",
                        choices=("none", "slashburn", "partition"),
                        default="slashburn",
@@ -168,8 +212,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="closed-loop load test while the graph mutates underneath",
     )
     add_bench_arguments(update)
-    update.add_argument("--workers", type=int, default=2,
-                        help="worker threads (one Engine replica each)")
+    update.add_argument("--workers", type=int, default=None,
+                        help="worker threads, one Engine replica each "
+                             "(default: tuned profile, else 2)")
     update.add_argument("--update-batch", type=int, default=8,
                         help="edges per mutation call")
     update.add_argument("--compact-every", type=int, default=256,
@@ -311,152 +356,184 @@ def _print_bench_report(args: argparse.Namespace, report, *, kind: str,
         print(f"wrote report to {args.json_out}")
 
 
-def _command_serve_bench(args: argparse.Namespace) -> int:
+def _load_tuned_profile(args: argparse.Namespace):
+    """Resolve ``--tuned`` into a :class:`~repro.tune.TuneProfile`.
+
+    ``None`` when the flag is absent; bare ``--tuned`` resolves through
+    :func:`repro.tune.autotune` (cache hit, or measure-and-save);
+    ``--tuned PATH`` loads exactly that file."""
+    spec = getattr(args, "tuned", None)
+    if spec is None:
+        return None
+    from repro import tune
+    from repro.exceptions import ParameterError
+
+    if spec == "auto":
+        return tune.autotune()
+    try:
+        return tune.TuneProfile.load(spec)
+    except (OSError, ValueError, KeyError, ParameterError) as error:
+        raise SystemExit(f"cannot load tuned profile {spec!r}: {error}")
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    """The one driver behind serve-bench, shard-bench, and update-bench.
+
+    Resolves the graph, method, seed pool, and optional tuned profile;
+    stands up the deployment the subcommand names (Server, Router, or
+    Server over a :class:`~repro.dynamic.DynamicGraph`); runs the
+    closed-loop load; renders the shared report.  Knob precedence is the
+    deployments' own: explicit flag > tuned profile > static default —
+    the header and JSON config echo the *resolved* values."""
     from repro.serving import Server, run_closed_loop
 
+    kind = args.command
     graph, source = _bench_graph(args)
+    if kind == "update-bench":
+        from repro.dynamic import DynamicGraph
+
+        graph = DynamicGraph(graph)
     method = create_method(args.method, **_method_params(args))
     pool = _bench_seed_pool(args, graph.num_nodes)
-    with Server(
-        method,
-        graph,
-        workers=args.workers,
+    profile = _load_tuned_profile(args)
+
+    common = dict(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_pending=args.max_pending,
         cache_size=args.cache,
-    ) as server:
-        print(f"# graph={source} nodes={graph.num_nodes} "
-              f"edges={graph.num_edges}")
-        print(f"# method={method.name} workers={args.workers} "
-              f"clients={args.clients} requests/client={args.requests} "
-              f"top={args.top} max_batch={args.max_batch} "
-              f"max_wait_ms={args.max_wait_ms:g} cache={args.cache}")
-        report = run_closed_loop(
-            server,
-            pool,
-            k=args.top,
-            clients=args.clients,
-            requests_per_client=args.requests,
-        )
-
-    _print_bench_report(
-        args, report, kind="serve-bench",
-        config={
-            "graph": source, "nodes": graph.num_nodes,
-            "edges": graph.num_edges, "method": method.name,
-            "workers": args.workers, "clients": args.clients,
-            "requests_per_client": args.requests, "top": args.top,
-            "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
-            "cache": args.cache,
-        },
+        tune=profile,
+        pin=args.pin,
     )
-    return 0
+    if kind == "shard-bench":
+        from repro.sharding import Router
 
-
-def _command_shard_bench(args: argparse.Namespace) -> int:
-    from repro.serving import run_closed_loop
-    from repro.sharding import Router
-
-    graph, source = _bench_graph(args)
-    method = create_method(args.method, **_method_params(args))
-    pool = _bench_seed_pool(args, graph.num_nodes)
-    reorder = None if args.reorder == "none" else args.reorder
-    with Router(
-        method,
-        graph,
-        num_shards=args.shards,
-        reorder=reorder,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        max_pending=args.max_pending,
-        cache_size=args.cache,
-        start_method=args.start_method,
-    ) as router:
-        print(f"# graph={source} nodes={graph.num_nodes} "
-              f"edges={graph.num_edges}")
-        print(f"# method={method.name} shards={router.num_shards} "
-              f"reorder={args.reorder} clients={args.clients} "
-              f"requests/client={args.requests} top={args.top} "
-              f"max_batch={args.max_batch} "
-              f"max_wait_ms={args.max_wait_ms:g} cache={args.cache}")
-        shard_rows = router.stats()["shards"]["shard_rows"]
-        print(f"# shard rows    {shard_rows}")
-        report = run_closed_loop(
-            router,
-            pool,
-            k=args.top,
-            clients=args.clients,
-            requests_per_client=args.requests,
-        )
-
-    _print_bench_report(
-        args, report, kind="shard-bench",
-        config={
-            "graph": source, "nodes": graph.num_nodes,
-            "edges": graph.num_edges, "method": method.name,
-            "shards": args.shards, "reorder": args.reorder,
-            "clients": args.clients,
-            "requests_per_client": args.requests, "top": args.top,
-            "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
-            "cache": args.cache, "shard_rows": shard_rows,
-        },
-    )
-    return 0
-
-
-def _command_update_bench(args: argparse.Namespace) -> int:
-    from repro.dynamic import DynamicGraph, run_update_bench
-    from repro.serving import Server
-
-    base, source = _bench_graph(args)
-    graph = DynamicGraph(base)
-    method = create_method(args.method, **_method_params(args))
-    pool = _bench_seed_pool(args, graph.num_nodes)
-    with Server(
-        method,
-        graph,
-        workers=args.workers,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        max_pending=args.max_pending,
-        cache_size=args.cache,
-    ) as server:
-        print(f"# graph={source} nodes={graph.num_nodes} "
-              f"edges={graph.num_edges}")
-        print(f"# method={method.name} workers={args.workers} "
-              f"clients={args.clients} requests/client={args.requests} "
-              f"top={args.top} update_batch={args.update_batch} "
-              f"compact_every={args.compact_every} cache={args.cache}")
-        result = run_update_bench(
-            server,
+        deployment = Router(
+            method,
             graph,
-            pool,
-            k=args.top,
-            clients=args.clients,
-            requests_per_client=args.requests,
-            update_batch=args.update_batch,
-            compact_every=args.compact_every,
-            backlog=args.backlog,
+            num_shards=args.shards,
+            reorder=None if args.reorder == "none" else args.reorder,
+            start_method=args.start_method,
+            **common,
         )
+    else:
+        deployment = Server(method, graph, workers=args.workers, **common)
 
-    print(f"updates applied {result.updates_applied} "
-          f"(attempted {result.updates_attempted})")
-    print(f"compactions     {result.compactions}")
-    print(f"updates/sec     {result.updates_per_second:.1f}")
-    _print_bench_report(
-        args, result.load, kind="update-bench",
-        config={
+    extra = None
+    with deployment:
+        stats = deployment.stats()
+        max_batch = stats["max_batch"]
+        max_wait_ms = stats["max_wait_ms"]
+        config = {
             "graph": source, "nodes": graph.num_nodes,
             "edges": graph.num_edges, "method": method.name,
-            "workers": args.workers, "clients": args.clients,
-            "requests_per_client": args.requests, "top": args.top,
-            "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
-            "cache": args.cache, "update_batch": args.update_batch,
-            "compact_every": args.compact_every, "backlog": args.backlog,
-        },
-        extra=result.update_fields(),
+            "clients": args.clients, "requests_per_client": args.requests,
+            "top": args.top, "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms, "cache": args.cache,
+            "tuned": profile is not None,
+        }
+        print(f"# graph={source} nodes={graph.num_nodes} "
+              f"edges={graph.num_edges}")
+        if kind == "shard-bench":
+            shape = f"shards={deployment.num_shards} reorder={args.reorder}"
+            pinning = stats["shards"]["pinning"]
+            config["shards"] = deployment.num_shards
+            config["reorder"] = args.reorder
+            config["shard_rows"] = stats["shards"]["shard_rows"]
+        else:
+            shape = f"workers={deployment.workers}"
+            pinning = stats.get("pinning")
+            config["workers"] = deployment.workers
+        config["pinning"] = pinning
+        print(f"# method={method.name} {shape} "
+              f"clients={args.clients} requests/client={args.requests} "
+              f"top={args.top} max_batch={max_batch} "
+              f"max_wait_ms={max_wait_ms:g} cache={args.cache}")
+        if profile is not None:
+            print(f"# tuned fingerprint={profile.fingerprint.key()} "
+                  f"stream_block={profile.stream_block} "
+                  f"kernel_threads={profile.kernel_threads} "
+                  f"pinning={pinning}")
+        if kind == "shard-bench":
+            print(f"# shard rows    {config['shard_rows']}")
+        if kind == "update-bench":
+            from repro.dynamic import run_update_bench
+
+            config.update(
+                update_batch=args.update_batch,
+                compact_every=args.compact_every,
+                backlog=args.backlog,
+            )
+            result = run_update_bench(
+                deployment,
+                graph,
+                pool,
+                k=args.top,
+                clients=args.clients,
+                requests_per_client=args.requests,
+                update_batch=args.update_batch,
+                compact_every=args.compact_every,
+                backlog=args.backlog,
+            )
+            report = result.load
+            extra = result.update_fields()
+        else:
+            report = run_closed_loop(
+                deployment,
+                pool,
+                k=args.top,
+                clients=args.clients,
+                requests_per_client=args.requests,
+            )
+
+    if kind == "update-bench":
+        print(f"updates applied {result.updates_applied} "
+              f"(attempted {result.updates_attempted})")
+        print(f"compactions     {result.compactions}")
+        print(f"updates/sec     {result.updates_per_second:.1f}")
+    _print_bench_report(args, report, kind=kind, config=config, extra=extra)
+    return 0
+
+
+def _command_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import tune
+
+    graph = None
+    if args.graph is not None:
+        graph, _ = read_edge_list(args.graph)
+    fingerprint = tune.machine_fingerprint()
+    cached = None if args.force else tune.load_cached(fingerprint)
+    profile = cached if cached is not None else tune.autotune(
+        graph,
+        force=args.force,
+        nodes=args.nodes,
+        avg_degree=args.avg_degree,
+        repeats=args.repeats,
     )
+    if args.json_out:
+        document = json.dumps(profile.to_dict(), indent=2)
+        if args.json_out == "-":
+            print(document)
+            return 0
+        Path(args.json_out).write_text(document + "\n", encoding="utf-8")
+        print(f"wrote profile to {args.json_out}")
+    print(f"fingerprint     {fingerprint.key()} "
+          f"({fingerprint.cpu_count} cpus, "
+          f"{len(fingerprint.numa)} numa node(s), "
+          f"backend={fingerprint.backend})")
+    print(f"profile         "
+          f"{'cached' if cached is not None else 'measured'} "
+          f"({tune.cache_path(fingerprint)})")
+    print(f"probe seconds   {profile.probe_seconds:.2f}")
+    print(f"tile_rows       {profile.tile_rows}")
+    print(f"stream_block    {profile.stream_block}")
+    print(f"kernel_threads  {profile.kernel_threads}")
+    print(f"workers         {profile.workers}")
+    print(f"shards          {profile.shards}")
+    print(f"max_batch       {profile.max_batch}")
+    print(f"max_wait_ms     {profile.max_wait_ms:g}")
     return 0
 
 
@@ -481,9 +558,10 @@ def main(argv: list[str] | None = None) -> int:
         "query": _command_query,
         "stats": _command_stats,
         "generate": _command_generate,
-        "serve-bench": _command_serve_bench,
-        "shard-bench": _command_shard_bench,
-        "update-bench": _command_update_bench,
+        "tune": _command_tune,
+        "serve-bench": _command_bench,
+        "shard-bench": _command_bench,
+        "update-bench": _command_bench,
     }
     return handlers[args.command](args)
 

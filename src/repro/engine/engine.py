@@ -174,6 +174,17 @@ class Engine:
         The budget behind ``stream_block="auto"`` (default 64 MiB).
         Giving a budget alone implies ``"auto"``; combining it with a
         fixed integer width is a :class:`ParameterError`.
+    tune:
+        A :class:`repro.tune.TuneProfile` (e.g. from
+        :func:`repro.tune.autotune`).  Its process-global knobs are
+        installed via :meth:`~repro.tune.TuneProfile.apply` (tile
+        height, kernel threads — each skipped when its environment
+        variable overrides it), and its ``stream_block`` becomes this
+        engine's default block width.  Precedence is always ``explicit
+        argument > environment variable > tuned profile > static
+        default``: passing ``stream_block=``/``memory_budget_bytes=``
+        explicitly wins over the profile.  :meth:`shard` defaults its
+        shard count from the profile too.
     warm_start:
         On a mutable substrate (a graph exposing ``epoch_token()``,
         i.e. :class:`repro.dynamic.DynamicGraph`), reuse each seed's
@@ -218,7 +229,13 @@ class Engine:
         memory_budget_bytes: int | None = None,
         cache: "ScoreCache | None" = None,
         warm_start: bool = True,
+        tune=None,
     ):
+        self._tune = tune
+        if tune is not None:
+            tune.apply()
+            if stream_block is None and memory_budget_bytes is None:
+                stream_block = int(tune.stream_block)
         if cache_size < 0:
             raise ParameterError("cache_size must be non-negative")
         if cache is not None and cache_size:
@@ -454,6 +471,7 @@ class Engine:
         how :class:`repro.serving.Server` scales across cores.
         """
         clone = object.__new__(Engine)
+        clone._tune = self._tune
         clone._stream_block = self._stream_block
         clone._memory_budget_bytes = self._memory_budget_bytes
         clone._reordering = self._reordering
@@ -480,6 +498,7 @@ class Engine:
         start_method: str | None = None,
         step_timeout: float | None = None,
         warm: bool = True,
+        pin: bool | None = None,
     ):
         """A serving replica whose online phase runs across shard
         worker **processes** — the multi-process sibling of
@@ -517,6 +536,12 @@ class Engine:
             deployment wedged.
         warm:
             Run one throwaway sweep before returning (default).
+        pin:
+            Pin each shard worker to its own core set
+            (:func:`repro.tune.plan_pinning`).  Default: pin exactly
+            when this engine carries a tuned profile; pass ``False`` to
+            override it.  Degrades to unpinned with a warning where the
+            platform cannot pin.
 
         Returns
         -------
@@ -529,6 +554,10 @@ class Engine:
         from repro.sharding.store import DEFAULT_PANEL_COLS
         from repro.sharding.worker import DEFAULT_STEP_TIMEOUT
 
+        if num_shards is None and plan is None and self._tune is not None:
+            num_shards = int(self._tune.shards)
+        if pin is None:
+            pin = self._tune is not None
         return shard_engine(
             self,
             num_shards=num_shards,
@@ -541,6 +570,7 @@ class Engine:
                 DEFAULT_STEP_TIMEOUT if step_timeout is None else step_timeout
             ),
             warm=warm,
+            pin=pin,
         )
 
     # -- the online phase ------------------------------------------------------

@@ -72,9 +72,12 @@ from repro.kernels.backend import (
     cache_token,
     compute_dtype,
     get_backend,
+    kernel_threads,
+    num_threads,
     numba_available,
     set_backend,
     set_compute_dtype,
+    set_num_threads,
     set_shard_annotation,
     shard_annotation,
     _backend_module,
@@ -106,6 +109,9 @@ __all__ = [
     "cache_token",
     "shard_annotation",
     "set_shard_annotation",
+    "num_threads",
+    "set_num_threads",
+    "kernel_threads",
     "Workspace",
     "LocalityReordering",
     "locality_reordering",

@@ -32,6 +32,26 @@ name = "numba"
 num_threads = int(numba.get_num_threads())
 
 
+def set_num_threads(requested):
+    """Apply a thread-count request; ``None`` restores the launch pool.
+
+    Numba only accepts ``1..NUMBA_NUM_THREADS`` (the pool it launched
+    with cannot grow after import), so requests are clamped into that
+    range rather than rejected — an autotuned profile measured on a
+    bigger machine must degrade gracefully on a smaller one.  Returns
+    the count actually applied.
+    """
+    global num_threads
+    limit = int(numba.config.NUMBA_NUM_THREADS)
+    if requested is None:
+        applied = limit
+    else:
+        applied = max(1, min(int(requested), limit))
+    numba.set_num_threads(applied)
+    num_threads = applied
+    return applied
+
+
 @njit(parallel=True, nogil=True, cache=True)
 def _spmv(indptr, indices, data, x, out):  # pragma: no cover - JIT
     # Accumulate through out[i] so every partial sum rounds in the output

@@ -44,6 +44,9 @@ __all__ = [
     "cache_token",
     "shard_annotation",
     "set_shard_annotation",
+    "num_threads",
+    "set_num_threads",
+    "kernel_threads",
 ]
 
 _BACKEND_NAMES = ("numba", "numpy")
@@ -110,6 +113,74 @@ def _resolve_env_dtype() -> type:
 
 
 _compute_dtype: type = _resolve_env_dtype()
+
+
+def _resolve_env_threads() -> int | None:
+    requested = os.environ.get("REPRO_KERNEL_THREADS", "").strip().lower()
+    if not requested or requested == "auto":
+        return None
+    try:
+        value = int(requested)
+    except ValueError:
+        value = 0
+    if value < 1:
+        warnings.warn(
+            f"REPRO_KERNEL_THREADS={requested!r} is not a positive integer "
+            "or 'auto'; using the backend default",
+            stacklevel=2,
+        )
+        return None
+    return value
+
+
+#: Requested kernel thread count; ``None`` means backend default (Numba's
+#: full launch pool).  Deliberately **not** part of :func:`cache_token`:
+#: the kernels are row parallel with a fixed per-row accumulation order,
+#: so results are bitwise identical across thread counts — the test suite
+#: asserts that invariant rather than the token recording the count.
+_kernel_threads: int | None = _resolve_env_threads()
+
+
+def kernel_threads() -> int | None:
+    """The configured thread-count policy (``None`` = backend default)."""
+    return _kernel_threads
+
+
+def num_threads() -> int:
+    """Thread count the active backend actually runs with.
+
+    The NumPy backend is always 1; the Numba backend reports its live
+    pool size (the configured policy clamped to the pool Numba launched
+    with — the pool cannot grow after import).
+    """
+    return int(getattr(_backend_module(), "num_threads", 1))
+
+
+def set_num_threads(count: int | None) -> int | None:
+    """Set the kernel thread-count policy; returns the previous setting.
+
+    ``count`` must be a positive integer, or ``None``/``"auto"`` to
+    restore the backend default.  The policy caps the Numba backend's
+    ``prange`` pool (applied immediately when Numba is active, or on
+    first activation otherwise); the single-threaded NumPy backend
+    records but ignores it.  Thread count never changes results — see
+    :data:`_kernel_threads` — so this setting is absent from
+    :func:`cache_token` by design.
+    """
+    global _kernel_threads
+    previous = _kernel_threads
+    if count is None or count == "auto":
+        _kernel_threads = None
+    else:
+        count = int(count)
+        if count < 1:
+            raise ParameterError(
+                f"kernel thread count must be positive, got {count}"
+            )
+        _kernel_threads = count
+    if _numba_module is not None:
+        _numba_module.set_num_threads(_kernel_threads)
+    return previous
 
 
 def get_backend() -> str:
@@ -249,6 +320,8 @@ def _backend_module() -> ModuleType:
             _numba_module = importlib.import_module(
                 "repro.kernels._numba_backend"
             )
+            if _kernel_threads is not None:
+                _numba_module.set_num_threads(_kernel_threads)
         return _numba_module
     from repro.kernels import _numpy_backend
 

@@ -89,11 +89,17 @@ def bench_report(report, *, kind: str, config: dict) -> dict:
     -------
     dict
         ``{"schema": REPORT_SCHEMA, "kind": ..., "config": {...},
-        **report.to_dict()}`` — one flat, versioned document both CLI
-        benchmarks write and CI uploads.
+        "machine": {...}, **report.to_dict()}`` — one flat, versioned
+        document every CLI benchmark writes and CI uploads.  The
+        ``"machine"`` fingerprint (:func:`repro.tune.machine_fingerprint`)
+        makes throughput numbers comparable across hosts: two reports
+        are only a perf regression signal when their fingerprints match.
     """
+    from repro.tune import machine_fingerprint
+
     document = {"schema": REPORT_SCHEMA, "kind": str(kind),
-                "config": dict(config)}
+                "config": dict(config),
+                "machine": machine_fingerprint().to_dict()}
     document.update(report.to_dict())
     return document
 

@@ -121,6 +121,18 @@ class Server:
         (default).  This populates lazily-built shared state (decayed
         operators, JIT code) serially, so worker threads never race to
         create it.
+    tune:
+        A :class:`repro.tune.TuneProfile`.  Supplies defaults for every
+        knob the caller leaves at ``None`` — ``workers``, ``max_batch``,
+        ``max_wait_ms`` — and flows into the primary Engine (block
+        width, global tile/thread knobs).  Explicit arguments always
+        win over the profile.
+    pin:
+        Pin each worker thread to its own core set
+        (:func:`repro.tune.plan_pinning`).  Default: pin exactly when a
+        tuned profile was given; pass ``False`` to override.  Degrades
+        to unpinned with a :class:`~repro.tune.PinningWarning` where
+        the platform cannot pin; results are identical either way.
 
     Examples
     --------
@@ -136,16 +148,27 @@ class Server:
         method: PPRMethod,
         graph: Graph | None = None,
         *,
-        workers: int = 2,
-        max_batch: int = 32,
-        max_wait_ms: float = 2.0,
+        workers: int | None = None,
+        max_batch: int | None = None,
+        max_wait_ms: float | None = None,
         max_pending: int = 1024,
         cache_size: int = 0,
         reorder: str | None = None,
         stream_block: int | str | None = None,
         memory_budget_bytes: int | None = None,
         warm: bool = True,
+        tune=None,
+        pin: bool | None = None,
     ):
+        # Precedence: explicit argument > tuned profile > static default.
+        if workers is None:
+            workers = int(tune.workers) if tune is not None else 2
+        if max_batch is None:
+            max_batch = int(tune.max_batch) if tune is not None else 32
+        if max_wait_ms is None:
+            max_wait_ms = float(tune.max_wait_ms) if tune is not None else 2.0
+        if pin is None:
+            pin = tune is not None
         if workers < 1:
             raise ParameterError("workers must be at least 1")
         if cache_size < 0:
@@ -165,6 +188,7 @@ class Server:
             stream_block=stream_block,
             memory_budget_bytes=memory_budget_bytes,
             cache=self._cache,
+            tune=tune,
         )
         # Every worker serves on a replica — never on the primary, whose
         # method is the caller's live object (they may keep querying it
@@ -182,10 +206,22 @@ class Server:
                 engine.method.query_many(probe)
         self._metrics = LatencyStats()
         self._closed = False
+        self._pinning: list[tuple[int, ...]] | None = None
+        if pin:
+            from repro.tune.pinning import plan_pinning
+
+            self._pinning = plan_pinning(workers)
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
-                args=(engine,),
+                args=(
+                    engine,
+                    (
+                        self._pinning[index]
+                        if self._pinning is not None
+                        else None
+                    ),
+                ),
                 name=f"repro-serve-{index}",
                 daemon=True,
             )
@@ -235,6 +271,11 @@ class Server:
         merged["pending"] = self.pending
         merged["max_batch"] = self._scheduler.max_batch
         merged["max_wait_ms"] = self._scheduler.max_wait_ms
+        merged["pinning"] = (
+            [list(cpus) for cpus in self._pinning]
+            if self._pinning is not None
+            else None
+        )
         snapshots = [engine.stats() for engine in self._engines]
         merged["queries_served"] = sum(
             snap["queries_served"] for snap in snapshots
@@ -336,7 +377,16 @@ class Server:
 
     # -- the worker loop -------------------------------------------------------
 
-    def _worker_loop(self, engine: Engine) -> None:
+    def _worker_loop(
+        self, engine: Engine, pin_cpus: tuple[int, ...] | None = None
+    ) -> None:
+        if pin_cpus:
+            # sched_setaffinity(0, ...) binds the calling *thread* on
+            # Linux, so each worker lands on its own core set.  A failed
+            # pin warns and the worker serves unpinned.
+            from repro.tune.pinning import pin_current
+
+            pin_current(pin_cpus)
         scheduler = self._scheduler
         metrics = self._metrics
         while True:

@@ -83,6 +83,7 @@ def shard_engine(
     start_method: str | None = None,
     step_timeout: float = DEFAULT_STEP_TIMEOUT,
     warm: bool = True,
+    pin: bool = False,
 ) -> ShardedEngine:
     """Build the sharded replica of ``engine`` (see ``Engine.shard``)."""
     if num_shards is not None and num_shards < 1:
@@ -111,9 +112,11 @@ def shard_engine(
         start_method=start_method,
         step_timeout=step_timeout,
         warm=warm,
+        pin=pin,
     )
     try:
         clone = object.__new__(ShardedEngine)
+        clone._tune = getattr(engine, "_tune", None)
         clone._stream_block = engine._stream_block
         clone._memory_budget_bytes = engine._memory_budget_bytes
         clone._reordering = reordering

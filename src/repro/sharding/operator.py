@@ -82,6 +82,12 @@ class ShardedOperator:
     warm:
         Run one throwaway sweep at construction so workers fault in
         their stripe mappings (and JIT-compile kernels) before traffic.
+    pin:
+        Pin each worker process to its own disjoint core set
+        (:func:`repro.tune.plan_pinning`, NUMA-aware).  Degrades to
+        unpinned with a :class:`~repro.tune.PinningWarning` when the
+        platform or the allowed cpu set cannot support it; results are
+        identical either way.
     """
 
     def __init__(
@@ -92,6 +98,7 @@ class ShardedOperator:
         start_method: str | None = None,
         step_timeout: float = DEFAULT_STEP_TIMEOUT,
         warm: bool = True,
+        pin: bool = False,
     ):
         if plan.num_rows != graph.num_nodes:
             raise ParameterError(
@@ -134,13 +141,23 @@ class ShardedOperator:
         )
         context = multiprocessing.get_context(method)
         backend = kernels.get_backend()
+        self._pinning: list[tuple[int, ...]] | None = None
+        if pin:
+            from repro.tune.pinning import plan_pinning
+
+            self._pinning = plan_pinning(plan.num_shards)
         self._workers: list[ShardWorker] = []
         try:
-            for spec in self._store.specs:
+            for index, spec in enumerate(self._store.specs):
                 self._workers.append(
                     ShardWorker(
                         context, spec, self._store.segment_names,
                         plan.num_shards, backend,
+                        pin_cpus=(
+                            self._pinning[index]
+                            if self._pinning is not None
+                            else None
+                        ),
                     )
                 )
             for worker in self._workers:
@@ -382,6 +399,11 @@ class ShardedOperator:
             ],
             "shard_nnz": [spec.nnz for spec in self._store.specs],
             "shared_bytes": self._store.nbytes(),
+            "pinning": (
+                [list(cpus) for cpus in self._pinning]
+                if self._pinning is not None
+                else None
+            ),
             "steps": self._steps,
             "republishes": self._republishes,
             "published_epoch": self._published_epoch,

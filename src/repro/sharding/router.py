@@ -109,6 +109,18 @@ class Router:
     warm:
         Run one throwaway probe through the sharded engine before
         accepting traffic (default).
+    tune:
+        A :class:`repro.tune.TuneProfile`.  Supplies defaults for every
+        knob the caller leaves at ``None`` — ``num_shards``,
+        ``max_batch``, ``max_wait_ms`` — and flows into the primary
+        Engine (block width, global tile/thread knobs).  Explicit
+        arguments always win over the profile.
+    pin:
+        Pin each shard worker process to its own core set
+        (:func:`repro.tune.plan_pinning`, NUMA-aware).  Default: pin
+        exactly when a tuned profile was given; pass ``False`` to
+        override.  Degrades to unpinned with a warning where the
+        platform cannot pin; results are identical either way.
 
     Examples
     --------
@@ -124,12 +136,12 @@ class Router:
         method: PPRMethod,
         graph=None,
         *,
-        num_shards: int = 2,
+        num_shards: int | None = None,
         plan: ShardPlan | None = None,
         reorder=None,
         partition_seed: int = 0,
-        max_batch: int = 32,
-        max_wait_ms: float = 2.0,
+        max_batch: int | None = None,
+        max_wait_ms: float | None = None,
         max_pending: int = 1024,
         cache_size: int = 0,
         stream_block: int | str | None = None,
@@ -138,7 +150,23 @@ class Router:
         start_method: str | None = None,
         step_timeout: float | None = None,
         warm: bool = True,
+        tune=None,
+        pin: bool | None = None,
     ):
+        # Precedence: explicit argument > tuned profile > static default.
+        if num_shards is None:
+            if plan is not None:
+                num_shards = plan.num_shards
+            elif tune is not None:
+                num_shards = int(tune.shards)
+            else:
+                num_shards = 2
+        if max_batch is None:
+            max_batch = int(tune.max_batch) if tune is not None else 32
+        if max_wait_ms is None:
+            max_wait_ms = float(tune.max_wait_ms) if tune is not None else 2.0
+        if pin is None:
+            pin = tune is not None
         if cache_size < 0:
             raise ParameterError("cache_size must be non-negative")
         # Cheap argument validation first, before any preprocessing.
@@ -163,6 +191,7 @@ class Router:
             stream_block=stream_block,
             memory_budget_bytes=memory_budget_bytes,
             cache=self._cache,
+            tune=tune,
         )
         self._engine = self._primary.shard(
             num_shards=num_shards,
@@ -171,6 +200,7 @@ class Router:
             start_method=start_method,
             step_timeout=step_timeout,
             warm=False,  # the operator probe runs inside shard()
+            pin=pin,
         )
         if warm:
             # One serial probe through the full sharded online phase:

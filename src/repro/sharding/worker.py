@@ -63,11 +63,16 @@ def shard_worker_main(
     num_shards: int,
     backend: str,
     conn: Connection,
+    pin_cpus: tuple[int, ...] | None = None,
 ) -> None:
     """Child-process entry: serve step commands until told to stop.
 
     Importable at module level so it works under both the ``fork`` and
-    ``spawn`` start methods.
+    ``spawn`` start methods.  ``pin_cpus`` (from a
+    :func:`repro.tune.plan_pinning` plan) pins this worker to its own
+    core set and caps its kernel threads to that set's size — placement
+    only, never results: a failed pin warns and the worker serves
+    unpinned.
     """
     from repro import kernels
 
@@ -111,6 +116,12 @@ def shard_worker_main(
             buffer=operator_shm.buf, offset=spec["data_offset"],
         )
         state["views"] = (indptr, indices, base_data)
+        # Fault the stripe's pages in from this worker (first-touch /
+        # warm): the serving loop then never stalls on a cold mapping,
+        # and on a pinned worker the pages are pulled toward its node.
+        from repro.tune.pinning import first_touch
+
+        first_touch(indptr, indices, base_data)
         n = spec["num_cols"]
         cache: dict = {}
         state["cache"] = cache
@@ -138,6 +149,14 @@ def shard_worker_main(
         shard = payload["shard"]
         kernels.set_shard_annotation(f"{shard}/{num_shards}")
         kernels.set_backend(backend)
+        if pin_cpus:
+            from repro.tune.pinning import pin_current
+
+            if pin_current(pin_cpus):
+                # The kernels should not oversubscribe the worker's own
+                # cores; thread count never changes results (bitwise
+                # contract), only placement.
+                kernels.set_num_threads(len(pin_cpus))
         bind(payload, segments)
         conn.send(("ready", shard))
         while True:
@@ -206,6 +225,9 @@ class ShardWorker:
         Total worker count (for the shard annotation).
     backend:
         Kernel backend name the worker starts on.
+    pin_cpus:
+        Optional cpu ids this worker pins itself to at startup (one
+        entry of a :func:`repro.tune.plan_pinning` plan).
     """
 
     def __init__(
@@ -215,14 +237,18 @@ class ShardWorker:
         segments: tuple[str, str, str],
         num_shards: int,
         backend: str,
+        pin_cpus: tuple[int, ...] | None = None,
     ):
         self.spec = spec
+        self.pin_cpus = pin_cpus
         payload = _spec_payload(spec)
         parent_conn, child_conn = context.Pipe()
         self._conn = parent_conn
         self._process = context.Process(
             target=shard_worker_main,
-            args=(payload, segments, num_shards, backend, child_conn),
+            args=(
+                payload, segments, num_shards, backend, child_conn, pin_cpus,
+            ),
             name=f"repro-shard-{spec.shard}",
             daemon=True,
         )

@@ -1,0 +1,222 @@
+"""Tests for repro.tune.pinning and the fingerprint's topology readers.
+
+The authoring container is typically single-core with no NUMA sysfs, so
+every placement scenario here runs against fake topologies (tmp_path
+sysfs trees, explicit ``topology=`` pools, monkeypatched ``os``
+attributes).  The contract under test is the degradation one: every
+environment where pinning cannot help yields unpinned execution with a
+:class:`~repro.tune.PinningWarning` — never a crash, and never a result
+change (the serving stack's bitwise tests in test_tune.py cover the
+latter end to end).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.tune import PinningWarning, cpu_topology, first_touch, pin_current, plan_pinning
+from repro.tune.fingerprint import cgroup_cpu_quota, numa_nodes, parse_cpulist
+
+
+def _fake_numa(tmp_path, nodes: dict[int, str]):
+    """A sysfs-shaped directory: node<N>/cpulist files."""
+    root = tmp_path / "node"
+    for node_id, cpulist in nodes.items():
+        node_dir = root / f"node{node_id}"
+        node_dir.mkdir(parents=True)
+        (node_dir / "cpulist").write_text(cpulist + "\n")
+    return str(root)
+
+
+class TestCpulistParsing:
+    def test_ranges_and_singles(self):
+        assert parse_cpulist("0-3,8-11") == (0, 1, 2, 3, 8, 9, 10, 11)
+        assert parse_cpulist("5") == (5,)
+        assert parse_cpulist("2,0,1") == (0, 1, 2)
+
+    def test_whitespace_and_duplicates(self):
+        assert parse_cpulist(" 0-1, 1 ,\n") == (0, 1)
+        assert parse_cpulist("") == ()
+
+
+class TestNumaNodes:
+    def test_reads_fake_sysfs(self, tmp_path):
+        sysfs = _fake_numa(tmp_path, {0: "0-1", 1: "2-3"})
+        assert numa_nodes(sysfs) == {0: (0, 1), 1: (2, 3)}
+
+    def test_missing_sysfs_is_empty(self, tmp_path):
+        assert numa_nodes(str(tmp_path / "absent")) == {}
+
+    def test_non_node_entries_ignored(self, tmp_path):
+        sysfs = _fake_numa(tmp_path, {0: "0"})
+        (tmp_path / "node" / "possible").write_text("0\n")
+        assert numa_nodes(sysfs) == {0: (0,)}
+
+
+class TestCgroupQuota:
+    def test_v2_quota(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("150000 100000\n")
+        assert cgroup_cpu_quota(str(tmp_path)) == pytest.approx(1.5)
+
+    def test_v2_unlimited(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("max 100000\n")
+        assert cgroup_cpu_quota(str(tmp_path)) is None
+
+    def test_v1_quota(self, tmp_path):
+        cpu = tmp_path / "cpu"
+        cpu.mkdir()
+        (cpu / "cpu.cfs_quota_us").write_text("200000\n")
+        (cpu / "cpu.cfs_period_us").write_text("100000\n")
+        assert cgroup_cpu_quota(str(tmp_path)) == pytest.approx(2.0)
+
+    def test_v1_unlimited(self, tmp_path):
+        cpu = tmp_path / "cpu"
+        cpu.mkdir()
+        (cpu / "cpu.cfs_quota_us").write_text("-1\n")
+        (cpu / "cpu.cfs_period_us").write_text("100000\n")
+        assert cgroup_cpu_quota(str(tmp_path)) is None
+
+    def test_no_cgroup_files(self, tmp_path):
+        assert cgroup_cpu_quota(str(tmp_path)) is None
+
+
+class TestCpuTopology:
+    def test_groups_by_node_restricted_to_affinity(self, tmp_path):
+        sysfs = _fake_numa(tmp_path, {0: "0-3", 1: "4-7"})
+        pools = cpu_topology(sysfs, affinity=[0, 1, 4, 5, 6])
+        assert pools == [(0, 1), (4, 5, 6)]
+
+    def test_node_with_no_allowed_cpus_dropped(self, tmp_path):
+        sysfs = _fake_numa(tmp_path, {0: "0-3", 1: "4-7"})
+        assert cpu_topology(sysfs, affinity=[4, 5]) == [(4, 5)]
+
+    def test_no_sysfs_falls_back_to_single_pool(self, tmp_path):
+        pools = cpu_topology(str(tmp_path / "absent"), affinity=[3, 1, 2])
+        assert pools == [(1, 2, 3)]
+
+
+class TestPlanPinning:
+    def test_spreads_across_numa_nodes(self):
+        plan = plan_pinning(2, topology=[(0, 1), (2, 3)])
+        assert plan is not None
+        assert sorted(map(sorted, plan)) == [[0, 1], [2, 3]]
+
+    def test_disjoint_sets_cover_one_cpu_minimum(self):
+        plan = plan_pinning(4, topology=[(0, 1), (2, 3)])
+        assert plan is not None
+        flat = [c for cpus in plan for c in cpus]
+        assert len(flat) == len(set(flat))  # disjoint
+        assert all(len(cpus) >= 1 for cpus in plan)
+
+    def test_cpus_per_worker_cap(self):
+        plan = plan_pinning(1, cpus_per_worker=2, topology=[(0, 1, 2, 3)])
+        assert plan == [(0, 1)]
+
+    def test_worker_sets_stay_within_one_node(self):
+        plan = plan_pinning(2, topology=[(0, 1, 2), (3, 4, 5)])
+        assert plan is not None
+        for cpus in plan:
+            assert set(cpus) <= {0, 1, 2} or set(cpus) <= {3, 4, 5}
+
+    def test_no_sched_setaffinity_degrades(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_setaffinity", raising=False)
+        with pytest.warns(PinningWarning, match="no sched_setaffinity"):
+            assert plan_pinning(2, topology=[(0, 1), (2, 3)]) is None
+
+    def test_mask_smaller_than_workers_degrades(self):
+        with pytest.warns(PinningWarning, match="cannot pin 4 workers"):
+            assert plan_pinning(4, topology=[(0,), (1,)]) is None
+
+    def test_empty_topology_degrades(self):
+        with pytest.warns(PinningWarning):
+            assert plan_pinning(1, topology=[()]) is None
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ParameterError):
+            plan_pinning(0)
+
+
+class TestPinCurrent:
+    def test_pin_to_current_affinity_succeeds(self):
+        if not hasattr(os, "sched_setaffinity"):
+            pytest.skip("platform cannot pin")
+        current = os.sched_getaffinity(0)
+        try:
+            assert pin_current(current) is True
+        finally:
+            os.sched_setaffinity(0, current)
+
+    def test_cgroup_restricted_cpu_degrades(self):
+        # A cpu id outside the allowed set (cgroup cpuset / machine
+        # size): the kernel rejects it, we warn and keep running.
+        if not hasattr(os, "sched_setaffinity"):
+            pytest.skip("platform cannot pin")
+        with pytest.warns(PinningWarning, match="could not pin"):
+            assert pin_current({99999}) is False
+
+    def test_no_setter_degrades(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_setaffinity", raising=False)
+        with pytest.warns(PinningWarning, match="no sched_setaffinity"):
+            assert pin_current({0}) is False
+
+
+class TestFirstTouch:
+    def test_touches_one_element_per_page(self):
+        array = np.zeros(4096, dtype=np.float64)  # 32 KiB = 8 pages
+        assert first_touch(array) == 8
+
+    def test_multiple_and_empty_arrays(self):
+        a = np.zeros(512, dtype=np.float64)  # exactly one page
+        assert first_touch(a, np.empty(0), a) == 2
+
+    def test_never_mutates(self):
+        array = np.arange(2048, dtype=np.float64)
+        before = array.copy()
+        first_touch(array)
+        np.testing.assert_array_equal(array, before)
+
+    def test_non_contiguous_input(self):
+        array = np.arange(4096, dtype=np.float64)[::2]
+        assert first_touch(array) > 0
+
+
+class TestServingDegradesNotCrashes:
+    """pin=True on a machine that cannot satisfy it must serve anyway."""
+
+    def test_server_oversubscribed_pin(self, small_community):
+        from repro import Server, create_method
+
+        workers = len(os.sched_getaffinity(0)) + 1 if hasattr(
+            os, "sched_getaffinity") else 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PinningWarning)
+            with Server(
+                create_method("tpa", s_iteration=4, t_iteration=8),
+                small_community,
+                workers=workers,
+                pin=True,
+            ) as server:
+                assert server.stats()["pinning"] is None
+                result = server.query(0, k=5)
+        assert result.top_nodes.shape == (5,)
+
+    def test_sharded_engine_oversubscribed_pin(self, small_community):
+        from repro import Engine, create_method
+
+        shards = len(os.sched_getaffinity(0)) + 1 if hasattr(
+            os, "sched_getaffinity") else 2
+        engine = Engine(
+            create_method("tpa", s_iteration=4, t_iteration=8),
+            small_community,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PinningWarning)
+            with engine.shard(num_shards=shards, pin=True) as sharded:
+                assert sharded.stats()["shards"]["pinning"] is None
+                out = sharded.serve([0, 1, 2], k=5)
+        np.testing.assert_array_equal(out, engine.serve([0, 1, 2], k=5))
