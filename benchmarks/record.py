@@ -288,17 +288,29 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         "serving_latency_p50_ms": report.latency_p50_ms,
         "serving_latency_p95_ms": report.latency_p95_ms,
         "serving_latency_p99_ms": report.latency_p99_ms,
+        # Resilience counters (normally all zero in a clean run; a
+        # non-zero value here flags a flaky host or a real regression in
+        # the supervision/retry machinery).
+        "serving_failures": report.server_stats.get("failures", 0),
+        "serving_retries": report.server_stats.get("retries", 0),
+        "serving_respawns": report.server_stats.get("respawns", 0),
         "sharded_shards": shards,
         "sharded_requests": sharded.requests,
         "sharded_queries_per_second": sharded.queries_per_second,
         "sharded_latency_p50_ms": sharded.latency_p50_ms,
         "sharded_latency_p95_ms": sharded.latency_p95_ms,
         "sharded_latency_p99_ms": sharded.latency_p99_ms,
+        "sharded_failures": sharded.server_stats.get("failures", 0),
+        "sharded_retries": sharded.server_stats.get("retries", 0),
+        "sharded_respawns": sharded.server_stats.get("respawns", 0),
         **updates.update_fields(),
         "updates_queries_per_second": updates.load.queries_per_second,
         "updates_latency_p50_ms": updates.load.latency_p50_ms,
         "updates_latency_p95_ms": updates.load.latency_p95_ms,
         "updates_latency_p99_ms": updates.load.latency_p99_ms,
+        "updates_failures": updates.load.server_stats.get("failures", 0),
+        "updates_retries": updates.load.server_stats.get("retries", 0),
+        "updates_respawns": updates.load.server_stats.get("respawns", 0),
     }
 
 

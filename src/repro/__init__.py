@@ -86,6 +86,10 @@ Package map
   edge updates, epoch-aware cache repair, warm-restarted serving).
 * :mod:`repro.tune` — hardware autotuning (measured ``TuneProfile``
   knobs cached per machine fingerprint) and core/NUMA pinning.
+* :mod:`repro.resilience` — fault tolerance for the serving stack:
+  worker supervision/respawn (``Supervisor``), bounded retries
+  (``RetryPolicy``), request deadlines, deterministic fault injection
+  (``REPRO_FAULTS``), and crash-safe shared-memory cleanup.
 * :mod:`repro.metrics` — L1 error, recall@k, memory and timing accounting.
 * :mod:`repro.analysis` — matrix-power densification and block-wise drift.
 * :mod:`repro.experiments` — one driver per paper table/figure
@@ -101,6 +105,8 @@ from repro.exceptions import (
     ConvergenceError,
     ParameterError,
     ServerOverloaded,
+    DeadlineExceeded,
+    WorkerFailure,
 )
 from repro.method import PPRMethod, select_top_k
 from repro.graph import (
@@ -180,6 +186,8 @@ from repro import dynamic
 from repro.dynamic import DeltaOverlay, DynamicGraph, OVERLAY_TOLERANCE
 from repro import tune
 from repro.tune import MachineFingerprint, TuneProfile, autotune
+from repro import resilience
+from repro.resilience import RetryPolicy, Supervisor
 from repro.metrics import (
     l1_error,
     top_k,
@@ -201,6 +209,8 @@ __all__ = [
     "ConvergenceError",
     "ParameterError",
     "ServerOverloaded",
+    "DeadlineExceeded",
+    "WorkerFailure",
     "PPRMethod",
     "select_top_k",
     "Engine",
@@ -288,5 +298,8 @@ __all__ = [
     "MachineFingerprint",
     "TuneProfile",
     "autotune",
+    "resilience",
+    "RetryPolicy",
+    "Supervisor",
     "__version__",
 ]

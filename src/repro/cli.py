@@ -180,6 +180,16 @@ def _build_parser() -> argparse.ArgumentParser:
                            default=None,
                            help="pin workers/shards to distinct cores "
                                 "(default: pin exactly when --tuned)")
+        bench.add_argument("--deadline-ms", type=float, default=None,
+                           help="queue deadline per request: still "
+                                "undispatched after this many ms, it fails "
+                                "fast with DeadlineExceeded")
+        bench.add_argument("--retry-attempts", type=int, default=None,
+                           help="bound client-side retries of rejected "
+                                "submissions (jittered backoff) instead of "
+                                "retrying forever")
+        bench.add_argument("--retry-backoff-ms", type=float, default=5.0,
+                           help="base backoff of --retry-attempts retries")
         bench.add_argument("--json", dest="json_out",
                            help="also write the report as JSON to this path")
 
@@ -333,6 +343,8 @@ def _print_bench_report(args: argparse.Namespace, report, *, kind: str,
     print(f"requests        {report.requests}")
     print(f"rejected        {report.rejected}")
     print(f"errors          {report.errors}")
+    print(f"retries         {report.retries}")
+    print(f"deadline misses {report.deadlines_exceeded}")
     print(f"wall seconds    {report.seconds:.3f}")
     print(f"throughput      {report.queries_per_second:.1f} q/s")
     print(f"latency p50     {report.latency_p50_ms:.2f} ms")
@@ -342,6 +354,11 @@ def _print_bench_report(args: argparse.Namespace, report, *, kind: str,
     stats = report.server_stats
     print(f"queue mean      {stats['queue_mean_ms']:.2f} ms")
     print(f"compute mean    {stats['compute_mean_ms']:.2f} ms")
+    resilience = " / ".join(
+        f"{stats.get(key, 0)} {key}"
+        for key in ("failures", "retries", "respawns", "deadlines_exceeded")
+    )
+    print(f"server faults   {resilience}")
     if "cache" in stats:
         cache = stats["cache"]
         print(f"cache           {cache['hits']} hits / "
@@ -396,6 +413,14 @@ def _command_bench(args: argparse.Namespace) -> int:
     method = create_method(args.method, **_method_params(args))
     pool = _bench_seed_pool(args, graph.num_nodes)
     profile = _load_tuned_profile(args)
+    client_retry = None
+    if args.retry_attempts is not None:
+        from repro.resilience import RetryPolicy
+
+        client_retry = RetryPolicy(
+            max_attempts=args.retry_attempts,
+            backoff_ms=args.retry_backoff_ms,
+        )
 
     common = dict(
         max_batch=args.max_batch,
@@ -431,6 +456,8 @@ def _command_bench(args: argparse.Namespace) -> int:
             "top": args.top, "max_batch": max_batch,
             "max_wait_ms": max_wait_ms, "cache": args.cache,
             "tuned": profile is not None,
+            "deadline_ms": args.deadline_ms,
+            "retry_attempts": args.retry_attempts,
         }
         print(f"# graph={source} nodes={graph.num_nodes} "
               f"edges={graph.num_edges}")
@@ -484,6 +511,8 @@ def _command_bench(args: argparse.Namespace) -> int:
                 k=args.top,
                 clients=args.clients,
                 requests_per_client=args.requests,
+                deadline_ms=args.deadline_ms,
+                retry=client_retry,
             )
 
     if kind == "update-bench":

@@ -62,12 +62,21 @@ class QueryRequest:
     exclude_neighbors:
         For top-k requests, also drop the seed's existing out-neighbors —
         the recommendation setting where known links are not re-suggested.
+    deadline_ms:
+        Serving-path queue deadline.  A request still waiting in the
+        scheduler this many milliseconds after submission fails fast
+        with :class:`~repro.exceptions.DeadlineExceeded` instead of
+        dispatching; once a batch starts computing it always completes.
+        ``None`` (default) waits indefinitely.  Ignored by direct
+        ``Engine.query`` / ``Engine.batch`` calls, and excluded from
+        cache identity — a deadline bounds queueing, not the answer.
     """
 
     seed: int
     k: int | None = None
     exclude_seed: bool = True
     exclude_neighbors: bool = False
+    deadline_ms: float | None = None
 
 
 @dataclass(frozen=True)
@@ -499,6 +508,8 @@ class Engine:
         step_timeout: float | None = None,
         warm: bool = True,
         pin: bool | None = None,
+        supervise: bool = True,
+        heartbeat_ms: float | None = None,
     ):
         """A serving replica whose online phase runs across shard
         worker **processes** — the multi-process sibling of
@@ -542,6 +553,12 @@ class Engine:
             when this engine carries a tuned profile; pass ``False`` to
             override it.  Degrades to unpinned with a warning where the
             platform cannot pin.
+        supervise:
+            Heartbeat the workers and respawn dead or hung ones
+            (default; see :class:`repro.resilience.Supervisor`).
+        heartbeat_ms:
+            Supervisor heartbeat period; default ``REPRO_HEARTBEAT_MS``
+            (1000 ms).
 
         Returns
         -------
@@ -571,6 +588,8 @@ class Engine:
             ),
             warm=warm,
             pin=pin,
+            supervise=supervise,
+            heartbeat_ms=heartbeat_ms,
         )
 
     # -- the online phase ------------------------------------------------------

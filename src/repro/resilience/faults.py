@@ -1,0 +1,296 @@
+"""Deterministic fault injection for the serving stack.
+
+Chaos testing a multi-process deployment only works when the chaos is
+**reproducible**: a flaky kill is a flaky test.  This module provides
+seed-driven injection points the serving and sharding code consults at
+well-defined protocol moments — activated by the ``REPRO_FAULTS``
+environment variable (inherited by shard worker processes under both
+``fork`` and ``spawn``) or programmatically via :func:`set_fault_plan`.
+
+Spec grammar (clauses joined by ``;``)::
+
+    point[@occurrences][:key=value[,key=value...]]
+
+``occurrences`` selects which *visits* of the injection point fire (a
+visit = one ``fire()`` call in this process, counted per point):
+
+* ``3``   — exactly the third visit;
+* ``3+``  — every visit from the third on;
+* ``2-5`` — visits two through five inclusive;
+* absent  — every visit.
+
+Recognized parameters:
+
+* ``scope=shard1`` — only fire in the process whose scope matches
+  (shard workers set ``shard<i>``; the parent process is ``main``);
+* ``gen=0`` — only fire in that worker *generation* (respawned workers
+  bump it), so a kill clause slays the first incarnation exactly once
+  instead of re-killing every replacement;
+* ``p=0.5,seed=7`` — probabilistic firing from a per-clause seeded RNG:
+  the visit sequence is still fully deterministic per process;
+* anything else (``ms=50``, ``seconds=2``) is passed through to the
+  injection site in the dict :func:`fire` returns.
+
+Injection points wired into the stack (see
+:func:`repro.sharding.worker.shard_worker_main` and
+:meth:`repro.serving.Server`):
+
+===================  ========================================================
+``poison_batch``     worker raises before computing (an ``err`` reply)
+``kill_before_sweep``  SIGKILL before the stripe product
+``kill_mid_sweep``   SIGKILL after computing, before replying
+``kill_after_sweep`` SIGKILL after replying
+``delay_reply``      sleep ``ms`` before the step reply
+``drop_remap_ack``   rebind to the new store but never acknowledge
+``hang_on_stop``     ignore ``stop`` (and SIGTERM) — exercises kill escalation
+``server_worker_crash``  a Server worker thread dies between batches
+===================  ========================================================
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultClause",
+    "FaultPlan",
+    "active_plan",
+    "fire",
+    "fire_delay",
+    "fire_kill",
+    "reset_fault_plan",
+    "set_fault_plan",
+    "set_scope",
+]
+
+#: Environment variable carrying the fault spec.  Worker processes
+#: inherit it, so one setting drives the whole deployment.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed clause of a fault spec."""
+
+    point: str
+    first: int = 1
+    last: int | None = None
+    probability: float | None = None
+    seed: int = 0
+    scope: str | None = None
+    generation: int | None = None
+    params: tuple[tuple[str, str], ...] = ()
+
+    def param_dict(self) -> dict[str, str]:
+        return dict(self.params)
+
+
+def _parse_occurrences(spec: str) -> tuple[int, int | None]:
+    spec = spec.strip()
+    try:
+        if spec.endswith("+"):
+            return int(spec[:-1]), None
+        if "-" in spec:
+            first, last = spec.split("-", 1)
+            return int(first), int(last)
+        visit = int(spec)
+        return visit, visit
+    except ValueError as error:
+        raise ParameterError(
+            f"invalid fault occurrence spec {spec!r}"
+        ) from error
+
+
+def _parse_clause(text: str) -> FaultClause:
+    head, _, raw_params = text.partition(":")
+    point, _, occurrences = head.partition("@")
+    point = point.strip()
+    if not point:
+        raise ParameterError(f"fault clause {text!r} names no point")
+    first, last = (1, None)
+    if occurrences:
+        first, last = _parse_occurrences(occurrences)
+    probability: float | None = None
+    seed = 0
+    scope: str | None = None
+    generation: int | None = None
+    params: list[tuple[str, str]] = []
+    for item in raw_params.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, eq, value = item.partition("=")
+        if not eq:
+            raise ParameterError(
+                f"fault parameter {item!r} is not key=value"
+            )
+        key, value = key.strip(), value.strip()
+        try:
+            if key == "p":
+                probability = float(value)
+            elif key == "seed":
+                seed = int(value)
+            elif key == "scope":
+                scope = value
+            elif key == "gen":
+                generation = int(value)
+            else:
+                params.append((key, value))
+        except ValueError as error:
+            raise ParameterError(
+                f"invalid fault parameter {item!r}"
+            ) from error
+    return FaultClause(
+        point=point,
+        first=first,
+        last=last,
+        probability=probability,
+        seed=seed,
+        scope=scope,
+        generation=generation,
+        params=tuple(params),
+    )
+
+
+@dataclass
+class FaultPlan:
+    """A parsed fault spec plus this process's per-point visit counters.
+
+    One plan is active per process (workers re-read ``REPRO_FAULTS`` at
+    startup); ``fire`` is thread-safe, so a multi-threaded parent counts
+    visits globally across its threads — deterministic as long as the
+    injected points are visited deterministically.
+    """
+
+    clauses: tuple[FaultClause, ...] = ()
+    _visits: dict = field(default_factory=dict, repr=False)
+    _rngs: dict = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        clauses = tuple(
+            _parse_clause(chunk)
+            for chunk in spec.split(";")
+            if chunk.strip()
+        )
+        return cls(clauses=clauses)
+
+    def fire(
+        self, point: str, scope: str, generation: int
+    ) -> dict[str, str] | None:
+        """One visit of ``point``; the matched clause's parameters when
+        it fires, else ``None``."""
+        with self._lock:
+            visit = self._visits.get(point, 0) + 1
+            self._visits[point] = visit
+            for index, clause in enumerate(self.clauses):
+                if clause.point != point:
+                    continue
+                if clause.scope is not None and clause.scope != scope:
+                    continue
+                if (
+                    clause.generation is not None
+                    and clause.generation != generation
+                ):
+                    continue
+                if visit < clause.first or (
+                    clause.last is not None and visit > clause.last
+                ):
+                    continue
+                if clause.probability is not None:
+                    rng = self._rngs.get(index)
+                    if rng is None:
+                        rng = np.random.default_rng(clause.seed)
+                        self._rngs[index] = rng
+                    if rng.random() >= clause.probability:
+                        continue
+                fired = clause.param_dict()
+                fired["point"] = point
+                fired["visit"] = str(visit)
+                return fired
+        return None
+
+
+# -- process-local activation --------------------------------------------------
+
+_UNSET = object()
+_state_lock = threading.Lock()
+_active: object = _UNSET  # FaultPlan | None once resolved
+_scope = "main"
+_generation = 0
+
+
+def set_scope(scope: str, generation: int = 0) -> None:
+    """Name this process for ``scope=``/``gen=`` clause filters.
+
+    Shard workers call this at startup (``shard<i>``, their respawn
+    generation); the parent process defaults to ``main`` / generation 0.
+    """
+    global _scope, _generation
+    _scope = str(scope)
+    _generation = int(generation)
+
+
+def set_fault_plan(plan: "FaultPlan | str | None") -> None:
+    """Activate a plan programmatically (``None`` disables injection
+    entirely, including the environment spec) — for in-process tests."""
+    global _active
+    with _state_lock:
+        _active = FaultPlan.from_spec(plan) if isinstance(plan, str) else plan
+
+
+def reset_fault_plan() -> None:
+    """Forget any active plan; the next ``fire`` re-reads the
+    environment.  Shard workers call this at startup so a forked child
+    never inherits the parent's resolved (possibly stale) plan."""
+    global _active
+    with _state_lock:
+        _active = _UNSET
+
+
+def active_plan() -> "FaultPlan | None":
+    """The process's plan, resolving ``REPRO_FAULTS`` lazily once."""
+    global _active
+    with _state_lock:
+        if _active is _UNSET:
+            spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+            _active = FaultPlan.from_spec(spec) if spec else None
+        return _active  # type: ignore[return-value]
+
+
+def fire(point: str) -> dict[str, str] | None:
+    """Visit ``point``; the firing clause's parameters, or ``None``.
+
+    The overwhelmingly common case — no plan — is one ``None`` check.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.fire(point, _scope, _generation)
+
+
+def fire_kill(point: str) -> None:
+    """SIGKILL this process when ``point`` fires — the hard-crash
+    injection the respawn paths are tested against."""
+    if fire(point) is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def fire_delay(point: str, default_ms: float = 50.0) -> None:
+    """Sleep ``ms`` (clause parameter, or ``default_ms``) when ``point``
+    fires — models a slow worker without killing it."""
+    fired = fire(point)
+    if fired is not None:
+        time.sleep(float(fired.get("ms", default_ms)) / 1e3)

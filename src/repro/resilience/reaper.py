@@ -1,0 +1,88 @@
+"""Crash-safe cleanup of orphaned shared-memory segments.
+
+A cleanly closed deployment unlinks its own segments
+(:meth:`~repro.sharding.ShardStore.close`), and Python's resource
+tracker covers most crashes — but a SIGKILLed creator whose tracker
+dies with it leaves segments behind in ``/dev/shm`` forever.  The
+defense is in the *name*: every segment a :class:`ShardStore` creates
+is called ``repro-shm-<owner pid>-<nonce>``, so any later process can
+decide ownership-liveness from the filename alone.
+:func:`reap_orphan_segments` scans for that prefix and unlinks every
+segment whose owner pid no longer exists; :meth:`ShardStore.build` and
+:meth:`ShardedOperator.close` call it, so serving deployments
+self-clean on the next start (and on shutdown) without a cron job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import secrets
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SHM_DIR",
+    "owned_segment_name",
+    "owner_pid",
+    "pid_alive",
+    "reap_orphan_segments",
+]
+
+#: Filename prefix of every segment this library creates.  The CI leak
+#: checks grep for it alongside the stdlib's ``psm_`` names.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Where POSIX shared memory appears as files (Linux).  On platforms
+#: without it the reaper is a no-op — the stdlib tracker is the only
+#: cleanup there.
+SHM_DIR = "/dev/shm"
+
+_NAME_RE = re.compile(rf"^{SEGMENT_PREFIX}-(\d+)-[0-9a-f]+$")
+
+
+def owned_segment_name() -> str:
+    """A fresh segment name encoding this process as the owner."""
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(6)}"
+
+
+def owner_pid(name: str) -> int | None:
+    """The owner pid encoded in ``name``, or ``None`` for foreign names."""
+    match = _NAME_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` currently names a process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - conservative: assume alive
+        return True
+    return True
+
+
+def reap_orphan_segments(directory: str = SHM_DIR) -> list[str]:
+    """Unlink every ``repro-shm`` segment whose owner pid is dead.
+
+    Returns the reaped names.  Races are benign: a concurrent unlink
+    (the owner's tracker beat us) is ignored, and a pid reused by an
+    unrelated process merely postpones the reap to the next scan.
+    """
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return []
+    reaped: list[str] = []
+    for name in entries:
+        pid = owner_pid(name)
+        if pid is None or pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:  # pragma: no cover - lost the race; fine
+            continue
+        reaped.append(name)
+    return reaped

@@ -1,0 +1,100 @@
+"""Bounded, jittered, *deterministic* retry policy.
+
+Retryable failures in this stack are transient by construction: worker
+death (:class:`~repro.exceptions.WorkerFailure` — the deployment
+respawns) and admission rejection
+(:class:`~repro.exceptions.ServerOverloaded` — the queue drains).  An
+exception opts in by carrying a truthy ``retryable`` attribute;
+everything else (parameter errors, :class:`DeadlineExceeded`, plain
+bugs) propagates on the first attempt.
+
+The jitter sequence comes from a seeded generator, so a retry schedule
+is reproducible run to run — the same property the rest of the repo
+holds everywhere else (fault injection, load generation, partitioning).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["RetryPolicy", "call_with_retry", "is_retryable"]
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether ``error`` opted into retry (``retryable`` attribute)."""
+    return bool(getattr(error, "retryable", False))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded attempts and seeded jitter.
+
+    Attempt ``i`` (0-based) that fails retryably sleeps
+    ``min(backoff_ms * multiplier**i, max_backoff_ms) * (1 + jitter * u)``
+    milliseconds, ``u`` drawn from the policy's seeded RNG — jitter
+    de-synchronizes colliding clients without sacrificing
+    reproducibility.
+    """
+
+    max_attempts: int = 3
+    backoff_ms: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    max_backoff_ms: float = 1000.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ParameterError("max_attempts must be at least 1")
+        if self.backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ParameterError("backoff must be non-negative")
+        if self.jitter < 0:
+            raise ParameterError("jitter must be non-negative")
+
+    def rng(self) -> np.random.Generator:
+        """A fresh jitter stream (one per retrying call site)."""
+        return np.random.default_rng(self.seed)
+
+    def delay_ms(self, attempt: int, rng: np.random.Generator) -> float:
+        """The sleep after failed attempt ``attempt`` (0-based)."""
+        base = min(
+            self.backoff_ms * (self.multiplier ** attempt),
+            self.max_backoff_ms,
+        )
+        if self.jitter:
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+
+def call_with_retry(
+    fn,
+    policy: RetryPolicy,
+    *,
+    on_retry=None,
+    sleep=time.sleep,
+):
+    """Call ``fn()`` under ``policy``.
+
+    Non-retryable exceptions and the final attempt's failure propagate
+    unchanged.  ``on_retry(error, delay_ms)`` is invoked before every
+    backoff sleep — the dispatch paths use it to bump their retry
+    counters.
+    """
+    rng = policy.rng()
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except Exception as error:  # noqa: BLE001 - filtered below
+            if not is_retryable(error) or attempt + 1 >= policy.max_attempts:
+                raise
+            delay = policy.delay_ms(attempt, rng)
+            if on_retry is not None:
+                on_retry(error, delay)
+            if delay > 0:
+                sleep(delay / 1e3)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,175 @@
+"""Heartbeat supervision of serving workers.
+
+:class:`Supervisor` is deliberately generic: a background thread that
+periodically calls a ``probe`` for unhealthy worker identities and hands
+each one to a ``repair`` callback.  The sharded
+:class:`~repro.sharding.ShardedOperator` probes worker-process liveness
+(plus an idle ``ping`` over the command pipe when no sweep is running)
+and repairs by respawning the worker against the live
+:class:`~repro.sharding.ShardStore`; :class:`~repro.serving.Server`
+probes its worker threads and repairs by starting a replacement thread
+on the same Engine replica.
+
+The heartbeat interval comes from ``REPRO_HEARTBEAT_MS`` (default
+1000 ms) unless the deployment passes one explicitly; a worker is
+declared hung after :func:`missed_beat_threshold`
+(``REPRO_HEARTBEAT_MISSES``, default 3) intervals without a reply.
+
+Supervision is a *between-sweeps* safety net: a worker that dies with a
+sweep in flight is detected faster — by the sweep itself, via pipe EOF —
+and recovered inline by the sweep's bounded retry.  The supervisor
+catches the quiet failures (a worker dying while the deployment is
+idle), so the first request after an incident does not pay the
+detection latency.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_MS",
+    "DEFAULT_MISSED_BEATS",
+    "HEARTBEAT_ENV_VAR",
+    "MISSES_ENV_VAR",
+    "Supervisor",
+    "heartbeat_interval_ms",
+    "missed_beat_threshold",
+]
+
+HEARTBEAT_ENV_VAR = "REPRO_HEARTBEAT_MS"
+MISSES_ENV_VAR = "REPRO_HEARTBEAT_MISSES"
+
+DEFAULT_HEARTBEAT_MS = 1000.0
+DEFAULT_MISSED_BEATS = 3
+
+
+def _env_number(name: str, default: float, minimum: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return max(value, minimum)
+
+
+def heartbeat_interval_ms() -> float:
+    """The configured heartbeat period (``REPRO_HEARTBEAT_MS``),
+    floored at 10 ms so a typo cannot busy-spin the supervisor."""
+    return _env_number(HEARTBEAT_ENV_VAR, DEFAULT_HEARTBEAT_MS, 10.0)
+
+
+def missed_beat_threshold() -> int:
+    """Heartbeats a worker may miss before it is declared hung
+    (``REPRO_HEARTBEAT_MISSES``)."""
+    return int(_env_number(MISSES_ENV_VAR, DEFAULT_MISSED_BEATS, 1.0))
+
+
+class Supervisor:
+    """Periodic health probe + repair loop on a daemon thread.
+
+    Parameters
+    ----------
+    probe:
+        ``() -> iterable`` of unhealthy worker identities.  Called once
+        per heartbeat; must be cheap and must tolerate running
+        concurrently with serving (the deployments guard their command
+        pipes themselves).
+    repair:
+        ``(identity) -> None`` — bring one unhealthy worker back.
+        Exceptions are counted (``repair_failures``) and swallowed so a
+        failed repair never kills the supervision loop; the next beat
+        retries.
+    name:
+        Thread name (shows up in stack dumps).
+    interval_ms:
+        Heartbeat period; default :func:`heartbeat_interval_ms`.
+
+    The thread starts immediately and runs until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        probe,
+        repair,
+        *,
+        name: str = "repro-supervisor",
+        interval_ms: float | None = None,
+    ):
+        self._probe = probe
+        self._repair = repair
+        self._interval = (
+            heartbeat_interval_ms() if interval_ms is None else float(interval_ms)
+        ) / 1e3
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._probes = 0
+        self._detected = 0
+        self._repairs = 0
+        self._repair_failures = 0
+        self._thread = threading.Thread(
+            target=self._loop, name=name, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def interval_ms(self) -> float:
+        return self._interval * 1e3
+
+    @property
+    def closed(self) -> bool:
+        return self._stop.is_set()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                unhealthy = list(self._probe())
+            except Exception:  # noqa: BLE001 - next beat retries
+                continue
+            with self._lock:
+                self._probes += 1
+            for identity in unhealthy:
+                if self._stop.is_set():
+                    return
+                with self._lock:
+                    self._detected += 1
+                try:
+                    self._repair(identity)
+                except Exception:  # noqa: BLE001 - keep supervising
+                    with self._lock:
+                        self._repair_failures += 1
+                else:
+                    with self._lock:
+                        self._repairs += 1
+
+    def stats(self) -> dict:
+        """Lifetime counters of the supervision loop."""
+        with self._lock:
+            return {
+                "interval_ms": self.interval_ms,
+                "probes": self._probes,
+                "detected": self._detected,
+                "repairs": self._repairs,
+                "repair_failures": self._repair_failures,
+            }
+
+    def close(self) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.stats()
+        return (
+            f"Supervisor(interval_ms={snap['interval_ms']:g}, "
+            f"repairs={snap['repairs']}, closed={self.closed})"
+        )

@@ -17,13 +17,18 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
 
 from repro.engine import QueryRequest
-from repro.exceptions import ParameterError, ServerOverloaded
+from repro.exceptions import (
+    DeadlineExceeded,
+    ParameterError,
+    ServerOverloaded,
+)
+from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.serving.metrics import percentiles
 
 __all__ = ["LoadReport", "run_closed_loop"]
@@ -51,6 +56,15 @@ class LoadReport:
     errors: int
     server_stats: dict = field(default_factory=dict)
     latencies_ms: np.ndarray | None = None
+    #: Submissions re-attempted after backoff under a bounded
+    #: :class:`~repro.resilience.RetryPolicy` (0 in legacy
+    #: retry-forever mode, which counts only ``rejected``).
+    retries: int = 0
+    #: Requests that failed fast with
+    #: :class:`~repro.exceptions.DeadlineExceeded` — tallied apart from
+    #: ``errors`` because a deadline miss is a typed, expected outcome
+    #: of running with ``deadline_ms`` under load.
+    deadlines_exceeded: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serializable view (sample array summarized away)."""
@@ -71,6 +85,8 @@ def run_closed_loop(
     requests_per_client: int = 100,
     exclude_seed: bool = True,
     keep_samples: bool = True,
+    deadline_ms: float | None = None,
+    retry: RetryPolicy | None = None,
 ) -> LoadReport:
     """Drive ``server`` with ``clients`` closed-loop threads.
 
@@ -87,6 +103,18 @@ def run_closed_loop(
     request retried after a short backoff, keeping the closed loop
     closed; any other failure counts as an error and the client moves
     on.
+
+    ``retry`` switches rejection handling from that legacy
+    retry-forever loop to a *bounded* jittered backoff: each rejection
+    backs off per the :class:`~repro.resilience.RetryPolicy` (seeded
+    per client, so runs stay deterministic) and a request still
+    rejected after ``max_attempts`` is abandoned — tallied in
+    ``rejected``, with every absorbed backoff in ``retries``.
+
+    ``deadline_ms`` stamps every request with a queue deadline;
+    requests the server fails fast with
+    :class:`~repro.exceptions.DeadlineExceeded` are tallied in
+    ``deadlines_exceeded`` rather than ``errors``.
     """
     if clients < 1:
         raise ParameterError("clients must be at least 1")
@@ -99,27 +127,61 @@ def run_closed_loop(
     per_client_latencies: list[list[float]] = [[] for _ in range(clients)]
     rejected = [0] * clients
     errors = [0] * clients
+    retried = [0] * clients
+    deadline_misses = [0] * clients
     barrier = threading.Barrier(clients + 1)
 
     def client_loop(client: int) -> None:
         stride = max(1, seed_pool.size // clients)
         latencies = per_client_latencies[client]
+        # Per-client policy seed: clients back off on their own jitter
+        # streams (no thundering herd) while the run as a whole stays
+        # deterministic.
+        policy = (
+            replace(retry, seed=retry.seed + client)
+            if retry is not None
+            else None
+        )
+
+        def submit_bounded(request: QueryRequest):
+            def on_retry(error, delay_ms):
+                rejected[client] += 1
+                retried[client] += 1
+
+            try:
+                return call_with_retry(
+                    lambda: server.submit(request), policy,
+                    on_retry=on_retry,
+                )
+            except ServerOverloaded:
+                rejected[client] += 1
+                return None  # abandoned after max_attempts
+
         barrier.wait()
         for index in range(requests_per_client):
             seed = int(seed_pool[(client * stride + index) % seed_pool.size])
             request = QueryRequest(
-                seed=seed, k=k, exclude_seed=exclude_seed
+                seed=seed, k=k, exclude_seed=exclude_seed,
+                deadline_ms=deadline_ms,
             )
             begin = time.perf_counter()
-            while True:
-                try:
-                    future = server.submit(request)
-                    break
-                except ServerOverloaded:
-                    rejected[client] += 1
-                    time.sleep(0.001)
+            if policy is None:
+                while True:
+                    try:
+                        future = server.submit(request)
+                        break
+                    except ServerOverloaded:
+                        rejected[client] += 1
+                        time.sleep(0.001)
+            else:
+                future = submit_bounded(request)
+                if future is None:
+                    continue
             try:
                 future.result()
+            except DeadlineExceeded:
+                deadline_misses[client] += 1
+                continue
             except Exception:  # noqa: BLE001 - client-side error tally
                 errors[client] += 1
                 continue
@@ -160,4 +222,6 @@ def run_closed_loop(
         errors=sum(errors),
         server_stats=server.stats(),
         latencies_ms=samples * 1e3 if keep_samples else None,
+        retries=sum(retried),
+        deadlines_exceeded=sum(deadline_misses),
     )

@@ -101,6 +101,12 @@ def bench_report(report, *, kind: str, config: dict) -> dict:
                 "config": dict(config),
                 "machine": machine_fingerprint().to_dict()}
     document.update(report.to_dict())
+    # Failure-path counters, lifted to the top level (additive to
+    # schema /1): consumers checking resilience behaviour should not
+    # have to know which nested stats blob carries them.
+    stats = document.get("server_stats") or {}
+    for key in LatencyStats.COUNTERS:
+        document[f"{key}_total"] = int(stats.get(key, 0))
     return document
 
 #: Default sample-window size: percentiles reflect the most recent
@@ -132,6 +138,15 @@ class LatencyStats:
         (counters are exact over the whole lifetime).
     """
 
+    #: Failure-path counters every snapshot carries (zeros when nothing
+    #: went wrong, so report consumers never need ``.get`` fallbacks):
+    #: ``failures`` — requests whose dispatch finally failed; ``retries``
+    #: — batch re-runs a retry policy absorbed; ``respawns`` — dead
+    #: workers (threads or shard processes) replaced by supervision;
+    #: ``deadlines_exceeded`` — requests failed fast at dispatch because
+    #: their queue deadline passed.
+    COUNTERS = ("failures", "retries", "respawns", "deadlines_exceeded")
+
     def __init__(self, capacity: int = _DEFAULT_WINDOW):
         self._lock = threading.Lock()
         self._queue_seconds: deque[float] = deque(maxlen=capacity)
@@ -140,6 +155,13 @@ class LatencyStats:
         self._completed = 0
         self._first_record_at: float | None = None
         self._last_completion_at = 0.0
+        self._counters = {name: 0 for name in self.COUNTERS}
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a failure-path counter (see :attr:`COUNTERS`; unknown
+        names are admitted so callers can add experiment-local ones)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
 
     def record(
         self,
@@ -174,6 +196,7 @@ class LatencyStats:
             queues = list(self._queue_seconds)
             computes = list(self._compute_seconds)
             completed = self._completed
+            counters = dict(self._counters)
             span = (
                 self._last_completion_at - self._first_record_at
                 if self._first_record_at is not None
@@ -194,6 +217,7 @@ class LatencyStats:
             "latency_p95_ms": latency_ms["p95"],
             "latency_p99_ms": latency_ms["p99"],
             "latency_max_ms": float(max(totals)) * 1e3 if totals else 0.0,
+            **counters,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

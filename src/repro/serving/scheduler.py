@@ -46,6 +46,11 @@ class PendingRequest:
     request: QueryRequest
     submitted_at: float
     future: "Future" = field(default_factory=Future)
+    #: ``perf_counter`` instant after which the request must not be
+    #: dispatched (``None`` = no deadline).  Derived from the request's
+    #: ``deadline_ms`` at submission; checked at dispatch time by
+    #: :func:`repro.serving.server.dispatch_batch`.
+    deadline_at: float | None = None
 
 
 class Scheduler:
@@ -114,6 +119,11 @@ class Scheduler:
         :meth:`close`.
         """
         pending = PendingRequest(request, time.perf_counter())
+        deadline_ms = getattr(request, "deadline_ms", None)
+        if deadline_ms is not None:
+            pending.deadline_at = (
+                pending.submitted_at + float(deadline_ms) / 1e3
+            )
         with self._condition:
             if self._closed:
                 raise RuntimeError("scheduler is closed")

@@ -40,9 +40,12 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.engine import Engine, QueryRequest, QueryResult
-from repro.exceptions import ParameterError
+from repro.exceptions import DeadlineExceeded, ParameterError
 from repro.graph.graph import Graph
 from repro.method import PPRMethod
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy, call_with_retry
+from repro.resilience.supervisor import Supervisor
 from repro.serving.cache import ScoreCache
 from repro.serving.metrics import LatencyStats
 from repro.serving.scheduler import PendingRequest, Scheduler
@@ -68,24 +71,66 @@ def dispatch_batch(
     engine: Engine,
     metrics: LatencyStats,
     batch: Sequence[PendingRequest],
+    retry: RetryPolicy | None = None,
 ) -> None:
     """Run one micro-batch on ``engine`` and fulfil its futures.
 
-    A failing batch fails every member's future — clients see the
+    Requests whose queue deadline (``QueryRequest.deadline_ms``) already
+    passed fail fast with :class:`~repro.exceptions.DeadlineExceeded`
+    before any compute — a batch that *starts* in time always completes.
+    With a :class:`~repro.resilience.RetryPolicy`, retryable batch
+    failures (worker death on a sharded engine) re-run the whole batch —
+    ``Engine.batch`` is pure over its score cache, so a retried batch
+    returns results bitwise identical to an undisturbed one.  A finally
+    failing batch fails every member's future — clients see the
     exception, the dispatching worker survives.  Shared by
     :class:`Server`'s worker threads and the
     :class:`repro.sharding.Router`'s dispatcher.
     """
     dispatched_at = time.perf_counter()
+    live: list[PendingRequest] = []
+    for pending in batch:
+        if (
+            pending.deadline_at is not None
+            and dispatched_at >= pending.deadline_at
+        ):
+            waited_ms = (dispatched_at - pending.submitted_at) * 1e3
+            deadline_ms = getattr(
+                pending.request, "deadline_ms", None
+            )
+            metrics.count("deadlines_exceeded")
+            resolve_future(
+                pending.future,
+                error=DeadlineExceeded(
+                    waited_ms if deadline_ms is None else deadline_ms,
+                    waited_ms,
+                ),
+            )
+        else:
+            live.append(pending)
+    if not live:
+        return
+
+    def run_batch():
+        return engine.batch([pending.request for pending in live])
+
     try:
-        results = engine.batch([pending.request for pending in batch])
+        if retry is None:
+            results = run_batch()
+        else:
+            results = call_with_retry(
+                run_batch,
+                retry,
+                on_retry=lambda error, delay_ms: metrics.count("retries"),
+            )
     except BaseException as error:  # noqa: BLE001 - forwarded to clients
-        for pending in batch:
+        metrics.count("failures", len(live))
+        for pending in live:
             resolve_future(pending.future, error=error)
         return
     finished_at = time.perf_counter()
-    compute_share = (finished_at - dispatched_at) / len(batch)
-    for pending, result in zip(batch, results):
+    compute_share = (finished_at - dispatched_at) / len(live)
+    for pending, result in zip(live, results):
         metrics.record(
             queue_seconds=dispatched_at - pending.submitted_at,
             compute_seconds=compute_share,
@@ -133,6 +178,17 @@ class Server:
         tuned profile was given; pass ``False`` to override.  Degrades
         to unpinned with a :class:`~repro.tune.PinningWarning` where
         the platform cannot pin; results are identical either way.
+    supervise:
+        Heartbeat the worker threads and restart any that die on their
+        own Engine replica (default; period from ``REPRO_HEARTBEAT_MS``
+        unless ``heartbeat_ms`` overrides it).  Restarts count as
+        ``respawns`` in :meth:`stats`.
+    retry:
+        A :class:`~repro.resilience.RetryPolicy` re-running a failed
+        micro-batch when its error is retryable (worker death on a
+        sharded engine).  Default ``None``: batch failures propagate to
+        clients on the first occurrence, matching pre-resilience
+        behaviour.
 
     Examples
     --------
@@ -159,6 +215,9 @@ class Server:
         warm: bool = True,
         tune=None,
         pin: bool | None = None,
+        supervise: bool = True,
+        heartbeat_ms: float | None = None,
+        retry: RetryPolicy | None = None,
     ):
         # Precedence: explicit argument > tuned profile > static default.
         if workers is None:
@@ -205,30 +264,68 @@ class Server:
             for engine in self._engines:
                 engine.method.query_many(probe)
         self._metrics = LatencyStats()
+        self._retry = retry
         self._closed = False
         self._pinning: list[tuple[int, ...]] | None = None
         if pin:
             from repro.tune.pinning import plan_pinning
 
             self._pinning = plan_pinning(workers)
+        # Guards thread revival: the supervisor's repair and close() must
+        # not race to replace the same slot.
+        self._revive_lock = threading.Lock()
         self._threads = [
-            threading.Thread(
-                target=self._worker_loop,
-                args=(
-                    engine,
-                    (
-                        self._pinning[index]
-                        if self._pinning is not None
-                        else None
-                    ),
-                ),
-                name=f"repro-serve-{index}",
-                daemon=True,
-            )
-            for index, engine in enumerate(self._engines)
+            self._make_thread(index) for index in range(workers)
         ]
         for thread in self._threads:
             thread.start()
+        self._supervisor: Supervisor | None = None
+        if supervise:
+            self._supervisor = Supervisor(
+                self._probe_threads,
+                self._revive_thread,
+                name="repro-serve-supervisor",
+                interval_ms=heartbeat_ms,
+            )
+
+    def _make_thread(self, index: int) -> threading.Thread:
+        return threading.Thread(
+            target=self._worker_loop,
+            args=(
+                self._engines[index],
+                (
+                    self._pinning[index]
+                    if self._pinning is not None
+                    else None
+                ),
+            ),
+            name=f"repro-serve-{index}",
+            daemon=True,
+        )
+
+    def _probe_threads(self):
+        """Indices of worker threads that died (crash, injected fault)."""
+        if self._closed:
+            return ()
+        return [
+            index for index, thread in enumerate(self._threads)
+            if not thread.is_alive()
+        ]
+
+    def _revive_thread(self, index: int) -> None:
+        """Restart a dead worker on its own replica.
+
+        The replica itself is safe to reuse: a thread only dies *between*
+        batches (dispatch_batch contains every per-batch failure), so the
+        replica's workspace is never left mid-computation.
+        """
+        with self._revive_lock:
+            if self._closed or self._threads[index].is_alive():
+                return
+            thread = self._make_thread(index)
+            self._threads[index] = thread
+            thread.start()
+            self._metrics.count("respawns")
 
     # -- introspection ---------------------------------------------------------
 
@@ -363,6 +460,10 @@ class Server:
         if self._closed:
             return
         self._closed = True
+        # Supervisor down first (joined): after this no revival can race
+        # the drain below.
+        if self._supervisor is not None:
+            self._supervisor.close()
         if not drain:
             self._scheduler.cancel_pending()
         self._scheduler.close()
@@ -390,10 +491,16 @@ class Server:
         scheduler = self._scheduler
         metrics = self._metrics
         while True:
+            # Chaos hook: simulate this worker thread dying.  Placed
+            # *before* next_batch so a killed worker never takes queued
+            # futures down with it — the batch stays in the scheduler for
+            # a surviving (or revived) worker.
+            if faults.fire("server_worker_crash") is not None:
+                return
             batch = scheduler.next_batch()
             if batch is None:
                 return  # closed and drained
-            dispatch_batch(engine, metrics, batch)
+            dispatch_batch(engine, metrics, batch, retry=self._retry)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -84,6 +84,8 @@ def shard_engine(
     step_timeout: float = DEFAULT_STEP_TIMEOUT,
     warm: bool = True,
     pin: bool = False,
+    supervise: bool = True,
+    heartbeat_ms: float | None = None,
 ) -> ShardedEngine:
     """Build the sharded replica of ``engine`` (see ``Engine.shard``)."""
     if num_shards is not None and num_shards < 1:
@@ -113,6 +115,8 @@ def shard_engine(
         step_timeout=step_timeout,
         warm=warm,
         pin=pin,
+        supervise=supervise,
+        heartbeat_ms=heartbeat_ms,
     )
     try:
         clone = object.__new__(ShardedEngine)

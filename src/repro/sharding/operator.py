@@ -30,17 +30,41 @@ neutral.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from typing import Sequence
 
 import numpy as np
 
 from repro import kernels
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, WorkerFailure
+from repro.resilience.reaper import reap_orphan_segments
+from repro.resilience.supervisor import (
+    Supervisor,
+    heartbeat_interval_ms,
+    missed_beat_threshold,
+)
 from repro.sharding.plan import ShardPlan
 from repro.sharding.store import DEFAULT_PANEL_COLS, ShardStore
 from repro.sharding.worker import DEFAULT_STEP_TIMEOUT, ShardWorker
 
 __all__ = ["ShardedOperator"]
+
+#: Attempts one sweep chunk gets before its failure propagates: the
+#: original pass plus recoveries.  Each recovery respawns every dead or
+#: wedged worker, so repeated failures mean something systemic (a
+#: poisoned stripe, a fault plan that kills every generation) and must
+#: surface instead of looping.
+_SWEEP_ATTEMPTS = 3
+
+
+class _SweepFailed(Exception):
+    """Internal: one step fan-out failed; carries every worker failure
+    so recovery can treat died/timeout (respawn) and error (plain
+    retry) members differently."""
+
+    def __init__(self, failures: list[WorkerFailure]):
+        self.failures = failures
+        super().__init__(f"{len(failures)} worker(s) failed")
 
 
 def _default_start_method() -> str:
@@ -88,6 +112,15 @@ class ShardedOperator:
         unpinned with a :class:`~repro.tune.PinningWarning` when the
         platform or the allowed cpu set cannot support it; results are
         identical either way.
+    supervise:
+        Run a :class:`~repro.resilience.Supervisor` that heartbeats the
+        workers between sweeps and respawns dead or unresponsive ones
+        (default).  Sweeps recover from worker death regardless — the
+        supervisor only shortens detection for failures that happen
+        while the deployment is idle.
+    heartbeat_ms:
+        Supervisor heartbeat period; default ``REPRO_HEARTBEAT_MS``
+        (1000 ms).
     """
 
     def __init__(
@@ -99,6 +132,8 @@ class ShardedOperator:
         step_timeout: float = DEFAULT_STEP_TIMEOUT,
         warm: bool = True,
         pin: bool = False,
+        supervise: bool = True,
+        heartbeat_ms: float | None = None,
     ):
         if plan.num_rows != graph.num_nodes:
             raise ParameterError(
@@ -111,7 +146,16 @@ class ShardedOperator:
         self._step_timeout = float(step_timeout)
         self._steps = 0
         self._republishes = 0
+        self._respawns = 0
+        self._sweep_retries = 0
         self._closed = False
+        #: Called (no args) after every worker respawn — the Router
+        #: hooks its metrics counter here.
+        self.on_respawn = None
+        # Serializes pipe traffic: the protocol is strict request-reply
+        # per worker, so supervisor pings must never interleave with a
+        # sweep's steps or a republish's remaps.
+        self._comm_lock = threading.Lock()
         # Dangling data is copied out of the source so the correction
         # never touches it mid-sweep (and DiskGraph sources stay cold).
         # Mutable substrates are the exception: their dangling set moves
@@ -139,27 +183,30 @@ class ShardedOperator:
             start_method if start_method is not None
             else _default_start_method()
         )
-        context = multiprocessing.get_context(method)
-        backend = kernels.get_backend()
+        # Retained for respawns: a replacement worker must come up under
+        # the same start method and pinning as the one it replaces.
+        self._context = multiprocessing.get_context(method)
         self._pinning: list[tuple[int, ...]] | None = None
         if pin:
             from repro.tune.pinning import plan_pinning
 
             self._pinning = plan_pinning(plan.num_shards)
+        self._generations = [0] * plan.num_shards
+        self._heartbeat_ms = (
+            heartbeat_interval_ms() if heartbeat_ms is None
+            else float(heartbeat_ms)
+        )
+        # A worker that misses this many beats' worth of ping time is
+        # declared hung; the sweep path uses the (generous) step timeout
+        # instead, since a step legitimately takes compute time.
+        self._ping_timeout = (
+            self._heartbeat_ms * missed_beat_threshold() / 1e3
+        )
+        self._supervisor: Supervisor | None = None
         self._workers: list[ShardWorker] = []
         try:
             for index, spec in enumerate(self._store.specs):
-                self._workers.append(
-                    ShardWorker(
-                        context, spec, self._store.segment_names,
-                        plan.num_shards, backend,
-                        pin_cpus=(
-                            self._pinning[index]
-                            if self._pinning is not None
-                            else None
-                        ),
-                    )
-                )
+                self._workers.append(self._spawn_worker(index, spec))
             for worker in self._workers:
                 worker.wait_ready(self._step_timeout)
             if warm:
@@ -168,6 +215,13 @@ class ShardedOperator:
                 # every worker's stripe cache (decay=None shares the
                 # base arrays zero-copy).
                 self.propagate(np.zeros((self._n, 1)))
+            if supervise:
+                self._supervisor = Supervisor(
+                    self._probe_workers,
+                    self._repair_worker,
+                    name="repro-shard-supervisor",
+                    interval_ms=self._heartbeat_ms,
+                )
         except BaseException:
             self.close()
             raise
@@ -353,11 +407,23 @@ class ShardedOperator:
         try:
             # Every worker rebinds (the panels moved with the store); the
             # old segments are only unlinked once all replies are in, so
-            # no worker ever computes against a vanished mapping.
-            for worker, spec in zip(self._workers, new_store.specs):
-                worker.send_remap(
-                    spec, new_store.segment_names, self._step_timeout
-                )
+            # no worker ever computes against a vanished mapping.  A
+            # worker that dies mid-remap — or rebinds but drops its ack —
+            # is respawned directly against the *new* store, so the swap
+            # completes regardless.
+            with self._comm_lock:
+                for index, (worker, spec) in enumerate(
+                    zip(self._workers, new_store.specs)
+                ):
+                    try:
+                        worker.send_remap(
+                            spec, new_store.segment_names, self._step_timeout
+                        )
+                    except WorkerFailure:
+                        self._respawn_worker(
+                            index, spec=spec,
+                            segments=new_store.segment_names,
+                        )
         except BaseException:
             new_store.close()
             raise
@@ -377,16 +443,155 @@ class ShardedOperator:
         decay: float | None,
         backend: str,
     ) -> None:
-        """Scatter one operand chunk, step every worker, gather stripes."""
-        panel_x = self._store.panel("x", ncols, dtype)
-        panel_y = self._store.panel("y", ncols, dtype)
-        np.copyto(panel_x, x)
+        """Scatter one operand chunk, step every worker, gather stripes.
+
+        Worker failures recover *inline*: dead or wedged workers are
+        respawned against the live store and the whole chunk re-runs —
+        every stripe is recomputed from the intact ``X`` panel, so a
+        recovered chunk is bitwise identical to an undisturbed one.
+        Column chunks are independent, so recovery never touches chunks
+        already gathered.
+        """
+        with self._comm_lock:
+            for attempt in range(_SWEEP_ATTEMPTS):
+                panel_x = self._store.panel("x", ncols, dtype)
+                panel_y = self._store.panel("y", ncols, dtype)
+                np.copyto(panel_x, x)
+                try:
+                    self._step_all(ncols, dtype, decay, backend)
+                except _SweepFailed as wreck:
+                    if attempt + 1 >= _SWEEP_ATTEMPTS:
+                        raise wreck.failures[0]
+                    self._sweep_retries += 1
+                    self._recover(wreck.failures)
+                    continue
+                np.copyto(out, panel_y)
+                self._steps += 1
+                return
+
+    def _step_all(
+        self, ncols: int, dtype: np.dtype, decay: float | None, backend: str
+    ) -> None:
+        """One step fan-out; raises :class:`_SweepFailed` with every
+        member failure (the fan-in drains all live workers even after
+        one fails, so survivors are never left with un-awaited
+        replies the sequence numbers would have to discard later)."""
+        failures: list[WorkerFailure] = []
+        stepped: list[ShardWorker] = []
         for worker in self._workers:
-            worker.send_step(ncols, dtype, decay, backend)
-        for worker in self._workers:
-            worker.wait_ok(self._step_timeout)
-        np.copyto(out, panel_y)
-        self._steps += 1
+            try:
+                worker.send_step(ncols, dtype, decay, backend)
+            except WorkerFailure as failure:
+                failures.append(failure)
+            else:
+                stepped.append(worker)
+        for worker in stepped:
+            try:
+                worker.wait_ok(self._step_timeout)
+            except WorkerFailure as failure:
+                failures.append(failure)
+        if failures:
+            raise _SweepFailed(failures)
+
+    def _recover(self, failures: list[WorkerFailure]) -> None:
+        """Respawn every worker whose failure was process-level.
+
+        ``error`` failures (the worker forwarded an exception) leave the
+        process alone — it is healthy and mid-protocol — while ``died``
+        and ``timeout`` (hung) workers are killed and replaced.  Called
+        with the comm lock held.
+        """
+        for failure in failures:
+            if failure.kind in ("died", "timeout", "init"):
+                self._respawn_worker(failure.shard)
+
+    def _respawn_worker(
+        self,
+        index: int,
+        spec=None,
+        segments: tuple[str, str, str] | None = None,
+    ) -> None:
+        """Replace worker ``index`` with a fresh process bound to the
+        live store (or the explicit ``spec``/``segments`` of a store
+        being swapped in).  Called with the comm lock held."""
+        old = self._workers[index]
+        old.kill(timeout=self._ping_timeout)
+        self._generations[index] += 1
+        worker = self._spawn_worker(
+            index,
+            self._store.specs[index] if spec is None else spec,
+            segments=segments,
+        )
+        worker.wait_ready(self._step_timeout)
+        self._workers[index] = worker
+        self._respawns += 1
+        hook = self.on_respawn
+        if hook is not None:
+            hook()
+
+    def _spawn_worker(
+        self, index: int, spec, segments: tuple[str, str, str] | None = None
+    ) -> ShardWorker:
+        return ShardWorker(
+            self._context,
+            spec,
+            self._store.segment_names if segments is None else segments,
+            self._plan.num_shards,
+            kernels.get_backend(),
+            pin_cpus=(
+                self._pinning[index] if self._pinning is not None else None
+            ),
+            generation=self._generations[index],
+        )
+
+    # -- supervision -------------------------------------------------------------
+
+    def _probe_workers(self):
+        """Unhealthy worker indices, probed without disturbing traffic.
+
+        Process liveness is always checked (lock-free and cheap); the
+        deeper pipe ``ping`` only runs when no sweep holds the comm lock
+        — a busy deployment is its own liveness proof, and the sweep
+        path detects failures faster than any heartbeat."""
+        if self._closed:
+            return ()
+        dead = [
+            index for index, worker in enumerate(self._workers)
+            if not worker.alive
+        ]
+        if dead:
+            return dead
+        if not self._comm_lock.acquire(blocking=False):
+            return ()
+        try:
+            if self._closed:
+                return ()
+            unhealthy = []
+            for index, worker in enumerate(self._workers):
+                try:
+                    worker.ping(self._ping_timeout)
+                except WorkerFailure:
+                    unhealthy.append(index)
+            return unhealthy
+        finally:
+            self._comm_lock.release()
+
+    def _repair_worker(self, index: int) -> None:
+        if self._closed:
+            return
+        with self._comm_lock:
+            if self._closed:
+                return
+            worker = self._workers[index]
+            if worker.alive:
+                try:
+                    # It may have been merely slow; a clean ping means
+                    # the sequence numbers already absorbed the past.
+                    worker.ping(self._ping_timeout)
+                    return
+                except WorkerFailure:
+                    pass
+            self._respawn_worker(index)
 
     # -- introspection / lifecycle ---------------------------------------------
 
@@ -410,16 +615,32 @@ class ShardedOperator:
             "workers_alive": sum(
                 1 for worker in self._workers if worker.alive
             ),
+            "respawns": self._respawns,
+            "sweep_retries": self._sweep_retries,
+            "generations": list(self._generations),
+            "supervisor": (
+                self._supervisor.stats()
+                if self._supervisor is not None
+                else None
+            ),
         }
 
     def workers(self) -> Sequence[ShardWorker]:
         return tuple(self._workers)
 
     def close(self) -> None:
-        """Stop every worker and unlink the shared segments (idempotent)."""
+        """Drain and stop every worker, unlink the shared segments, and
+        sweep any orphans earlier crashes left behind (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        # The supervisor goes first (and is joined): once it is down, no
+        # repair can race the worker teardown below for the pipes.
+        if self._supervisor is not None:
+            try:
+                self._supervisor.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
         for worker in self._workers:
             try:
                 worker.stop()
@@ -427,6 +648,7 @@ class ShardedOperator:
                 pass
         self._workers = []
         self._store.close()
+        reap_orphan_segments()
 
     def __enter__(self) -> "ShardedOperator":
         return self

@@ -34,6 +34,7 @@ from repro.exceptions import ParameterError
 from repro.graph.partition import partition_graph, partition_order
 from repro.kernels.reorder import LocalityReordering
 from repro.method import PPRMethod
+from repro.resilience.retry import RetryPolicy
 from repro.serving.cache import ScoreCache
 from repro.serving.metrics import LatencyStats
 from repro.serving.scheduler import Scheduler
@@ -121,6 +122,18 @@ class Router:
         exactly when a tuned profile was given; pass ``False`` to
         override.  Degrades to unpinned with a warning where the
         platform cannot pin; results are identical either way.
+    supervise:
+        Heartbeat the shard worker processes and respawn dead or hung
+        ones between sweeps (default; period from ``REPRO_HEARTBEAT_MS``
+        unless ``heartbeat_ms`` overrides it).  Respawns count in
+        :meth:`stats` whether triggered by the supervisor or by in-sweep
+        recovery.
+    retry:
+        A :class:`~repro.resilience.RetryPolicy` re-running a micro-batch
+        whose dispatch failed retryably (worker death the sweep could
+        not absorb).  Default: a stock policy — a sharded deployment
+        should survive worker loss without clients noticing.  Pass
+        ``None`` to fail batches on first error.
 
     Examples
     --------
@@ -152,6 +165,9 @@ class Router:
         warm: bool = True,
         tune=None,
         pin: bool | None = None,
+        supervise: bool = True,
+        heartbeat_ms: float | None = None,
+        retry: RetryPolicy | None = RetryPolicy(),
     ):
         # Precedence: explicit argument > tuned profile > static default.
         if num_shards is None:
@@ -201,6 +217,8 @@ class Router:
             step_timeout=step_timeout,
             warm=False,  # the operator probe runs inside shard()
             pin=pin,
+            supervise=supervise,
+            heartbeat_ms=heartbeat_ms,
         )
         if warm:
             # One serial probe through the full sharded online phase:
@@ -210,6 +228,12 @@ class Router:
             probe = np.zeros(1, dtype=np.int64)
             self._engine.method.query_many(probe)
         self._metrics = LatencyStats()
+        self._retry = retry
+        # Every respawn — supervisor- or sweep-triggered — lands in the
+        # router's counters, so the serving report shows them.
+        self._engine.shards.on_respawn = (
+            lambda: self._metrics.count("respawns")
+        )
         self._closed = False
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="repro-shard-router", daemon=True
@@ -355,7 +379,9 @@ class Router:
             batch = self._scheduler.next_batch()
             if batch is None:
                 return  # closed and drained
-            dispatch_batch(self._engine, self._metrics, batch)
+            dispatch_batch(
+                self._engine, self._metrics, batch, retry=self._retry
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

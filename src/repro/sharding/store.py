@@ -39,9 +39,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ParameterError
+from repro.resilience.reaper import owned_segment_name, reap_orphan_segments
 from repro.sharding.plan import ShardPlan
 
-__all__ = ["ShardStore", "StripeSpec", "attach_segment"]
+__all__ = ["ShardStore", "StripeSpec", "attach_segment", "create_segment"]
 
 #: Alignment of every array within the operator segment; keeps each
 #: stripe's arrays on cache-line boundaries regardless of neighbors.
@@ -103,6 +104,28 @@ def attach_segment(
         except Exception:
             pass
     return segment
+
+
+def create_segment(size: int) -> shared_memory.SharedMemory:
+    """Create a segment under a crash-traceable name.
+
+    The name encodes this process as the owner
+    (``repro-shm-<pid>-<nonce>``), which is what lets
+    :func:`repro.resilience.reap_orphan_segments` clean up after a
+    SIGKILLed creator whose resource tracker died with it.  Collisions
+    (astronomically unlikely, but names are guessable) fall back to
+    fresh nonces, then to the stdlib's anonymous naming.
+    """
+    for _ in range(8):
+        try:
+            return shared_memory.SharedMemory(
+                create=True, size=size, name=owned_segment_name()
+            )
+        except FileExistsError:  # pragma: no cover - nonce collision
+            continue
+    return shared_memory.SharedMemory(  # pragma: no cover - fallback
+        create=True, size=size
+    )
 
 
 def _operator_stripes(graph, plan: ShardPlan, shards=None):
@@ -200,6 +223,10 @@ class ShardStore:
             )
         if panel_cols < 1:
             raise ParameterError("panel_cols must be at least 1")
+        # Crash-safe hygiene: before allocating fresh segments, unlink
+        # any left by a dead owner — a deployment that crashed hard last
+        # run must not slowly fill /dev/shm.
+        reap_orphan_segments()
 
         if previous is not None and dirty_shards is not None:
             if previous.closed:
@@ -244,9 +271,7 @@ class ShardStore:
                 entry[part] = (offset, array.size, array.dtype.str)
                 offset += array.nbytes
             layout.append(entry)
-        operator_segment = shared_memory.SharedMemory(
-            create=True, size=max(offset, 1)
-        )
+        operator_segment = create_segment(max(offset, 1))
         specs: list[StripeSpec] = []
         for shard, (begin, end), stripe in stripes:
             entry = layout[shard]
@@ -273,8 +298,8 @@ class ShardStore:
             )
 
         panel_bytes = n * panel_cols * np.dtype(np.float64).itemsize
-        panel_x = shared_memory.SharedMemory(create=True, size=panel_bytes)
-        panel_y = shared_memory.SharedMemory(create=True, size=panel_bytes)
+        panel_x = create_segment(panel_bytes)
+        panel_y = create_segment(panel_bytes)
         return cls(
             operator_segment, panel_x, panel_y, specs, n, panel_cols
         )

@@ -9,6 +9,18 @@ and reply.  All heavy state (the CSR stripe, the panels) lives in shared
 memory mapped zero-copy; the pipes carry only small command tuples, so a
 step costs one roundtrip per worker regardless of graph size.
 
+The protocol is strict request-reply with **sequence numbers**: every
+command carries a monotonically increasing ``seq`` the worker echoes in
+its reply, and the parent discards replies older than the one it awaits.
+That is what makes recovery sound — after a timed-out step is retried, a
+late reply from the slow (but alive) worker cannot be mistaken for the
+retry's answer, so a recovered sweep stays bitwise identical.
+
+Failures surface as typed :class:`~repro.exceptions.WorkerFailure`
+(``died`` / ``timeout`` / ``error`` / ``init``), which the sweep retry
+and the :class:`~repro.resilience.Supervisor` use to decide between
+respawn (process-level failure) and plain retry (step-level error).
+
 Workers pre-scale their stripe's value array by the commanded decay
 (scaled then cast, exactly as :meth:`Graph._operator_for` builds the
 in-memory decayed operator) and cache the scaled copy per
@@ -19,19 +31,23 @@ is **bitwise identical** to the serial one — the property the router's
 equivalence tests pin down.
 
 Each worker stamps its process with
-:func:`repro.kernels.set_shard_annotation`, so any
-:func:`repro.kernels.cache_token` minted inside it names the stripe it
-ran on.
+:func:`repro.kernels.set_shard_annotation`, registers itself with the
+fault-injection harness (scope ``shard<i>``, its respawn generation),
+and honors the :mod:`repro.resilience.faults` injection points the
+chaos suite drives.
 """
 
 from __future__ import annotations
 
+import signal
+import time
 import traceback
 from multiprocessing.connection import Connection
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.exceptions import WorkerFailure
 from repro.sharding.store import StripeSpec, attach_segment
 
 __all__ = ["ShardWorker", "shard_worker_main"]
@@ -64,6 +80,7 @@ def shard_worker_main(
     backend: str,
     conn: Connection,
     pin_cpus: tuple[int, ...] | None = None,
+    generation: int = 0,
 ) -> None:
     """Child-process entry: serve step commands until told to stop.
 
@@ -72,9 +89,17 @@ def shard_worker_main(
     :func:`repro.tune.plan_pinning` plan) pins this worker to its own
     core set and caps its kernel threads to that set's size — placement
     only, never results: a failed pin warns and the worker serves
-    unpinned.
+    unpinned.  ``generation`` counts respawns of this shard's worker
+    (0 = original), so targeted fault clauses can hit exactly one
+    incarnation.
     """
     from repro import kernels
+    from repro.resilience import faults
+
+    # A forked child inherits the parent's resolved fault plan and its
+    # visit counters — both wrong here.  Re-resolve from the environment
+    # with fresh counters, under this worker's scope.
+    faults.reset_fault_plan()
 
     # Mutable binding state: the "remap" command (a partial republish
     # after a dynamic-graph compaction) swaps the worker onto a new
@@ -148,6 +173,7 @@ def shard_worker_main(
     try:
         shard = payload["shard"]
         kernels.set_shard_annotation(f"{shard}/{num_shards}")
+        faults.set_scope(f"shard{shard}", generation)
         kernels.set_backend(backend)
         if pin_cpus:
             from repro.tune.pinning import pin_current
@@ -158,28 +184,46 @@ def shard_worker_main(
                 # contract), only placement.
                 kernels.set_num_threads(len(pin_cpus))
         bind(payload, segments)
-        conn.send(("ready", shard))
+        conn.send(("ready", 0, shard))
         while True:
             try:
                 command = conn.recv()
             except EOFError:  # parent vanished: exit quietly
                 return
             verb = command[0]
+            seq = (
+                command[1]
+                if len(command) > 1 and isinstance(command[1], int)
+                else 0
+            )
             try:
                 if verb == "stop":
-                    conn.send(("ok", None))
+                    hang = faults.fire("hang_on_stop")
+                    if hang is not None:
+                        # A worker wedged so hard even SIGTERM is lost:
+                        # the parent's stop() must escalate to SIGKILL.
+                        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                        time.sleep(float(hang.get("seconds", 60)))
+                    conn.send(("ok", seq, None))
                     return
                 if verb == "ping":
-                    conn.send(("ok", shard))
+                    conn.send(("ok", seq, shard))
                     continue
                 if verb == "remap":
-                    _, new_payload, new_segments = command
+                    _, _, new_payload, new_segments = command
                     bind(new_payload, new_segments)
-                    conn.send(("ok", shard))
+                    if faults.fire("drop_remap_ack") is not None:
+                        # Rebound but silent: the parent times out and
+                        # must respawn against the new store.
+                        continue
+                    conn.send(("ok", seq, shard))
                     continue
                 if verb != "step":
                     raise ValueError(f"unknown shard command {verb!r}")
-                _, ncols, dtype_name, decay, want_backend = command
+                if faults.fire("poison_batch") is not None:
+                    raise RuntimeError("injected fault: poisoned batch")
+                faults.fire_kill("kill_before_sweep")
+                _, _, ncols, dtype_name, decay, want_backend = command
                 if want_backend != kernels.get_backend():
                     kernels.set_backend(want_backend)
                 dtype = np.dtype(dtype_name)
@@ -199,9 +243,12 @@ def shard_worker_main(
                         (n, ncols), dtype=dtype, buffer=panel_y.buf
                     )
                     kernels.spmm(stripe, x, out=y[begin:end])
-                conn.send(("ok", None))
+                faults.fire_kill("kill_mid_sweep")
+                faults.fire_delay("delay_reply")
+                conn.send(("ok", seq, None))
+                faults.fire_kill("kill_after_sweep")
             except Exception:  # noqa: BLE001 - forwarded to the router
-                conn.send(("err", traceback.format_exc()))
+                conn.send(("err", seq, traceback.format_exc()))
     finally:
         unbind()
         try:
@@ -228,6 +275,9 @@ class ShardWorker:
     pin_cpus:
         Optional cpu ids this worker pins itself to at startup (one
         entry of a :func:`repro.tune.plan_pinning` plan).
+    generation:
+        Respawn generation of this shard's worker (0 = spawned at
+        deployment construction; each respawn increments it).
     """
 
     def __init__(
@@ -238,16 +288,21 @@ class ShardWorker:
         num_shards: int,
         backend: str,
         pin_cpus: tuple[int, ...] | None = None,
+        generation: int = 0,
     ):
         self.spec = spec
         self.pin_cpus = pin_cpus
+        self.generation = int(generation)
         payload = _spec_payload(spec)
         parent_conn, child_conn = context.Pipe()
         self._conn = parent_conn
+        self._seq = 0
+        self._awaiting = 0
         self._process = context.Process(
             target=shard_worker_main,
             args=(
-                payload, segments, num_shards, backend, child_conn, pin_cpus,
+                payload, segments, num_shards, backend, child_conn,
+                pin_cpus, self.generation,
             ),
             name=f"repro-shard-{spec.shard}",
             daemon=True,
@@ -263,17 +318,39 @@ class ShardWorker:
     def alive(self) -> bool:
         return self._process.is_alive()
 
+    @property
+    def pid(self) -> int | None:
+        return self._process.pid
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        self._awaiting = self._seq
+        return self._seq
+
+    def _send(self, command: tuple) -> None:
+        try:
+            self._conn.send(command)
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerFailure(
+                self.shard, "died", f"send failed: {error}"
+            ) from error
+
     def wait_ready(self, timeout: float) -> None:
         reply = self._receive(timeout)
         if reply[0] != "ready":
-            raise RuntimeError(
-                f"shard {self.shard} failed to initialize: {reply[1]}"
+            raise WorkerFailure(
+                self.shard, "init", f"failed to initialize: {reply[2]}"
             )
 
     def send_step(
         self, ncols: int, dtype: np.dtype, decay: float | None, backend: str
     ) -> None:
-        self._conn.send(("step", ncols, np.dtype(dtype).name, decay, backend))
+        self._send(
+            (
+                "step", self._next_seq(), ncols, np.dtype(dtype).name,
+                decay, backend,
+            )
+        )
 
     def send_remap(
         self, spec: StripeSpec, segments: tuple[str, str, str],
@@ -286,44 +363,78 @@ class ShardWorker:
         is awaited so the caller knows the old store can be closed.
         """
         self.spec = spec
-        self._conn.send(("remap", _spec_payload(spec), segments))
+        self._send(("remap", self._next_seq(), _spec_payload(spec), segments))
         self.wait_ok(timeout)
 
     def ping(self, timeout: float) -> None:
-        self._conn.send(("ping",))
+        self._send(("ping", self._next_seq()))
         self.wait_ok(timeout)
 
     def wait_ok(self, timeout: float) -> None:
-        reply = self._receive(timeout)
-        if reply[0] != "ok":
-            raise RuntimeError(
-                f"shard {self.shard} step failed:\n{reply[1]}"
-            )
+        """Await the reply to the last command sent, discarding stale
+        replies (answers to commands a recovery pass abandoned)."""
+        deadline = time.perf_counter() + timeout
+        while True:
+            remaining = max(deadline - time.perf_counter(), 0.0)
+            reply = self._receive(remaining)
+            status, seq, detail = reply[0], reply[1], reply[2]
+            if seq < self._awaiting:
+                continue  # stale reply to an abandoned command
+            if status != "ok":
+                raise WorkerFailure(
+                    self.shard, "error", f"step failed:\n{detail}"
+                )
+            return
 
     def _receive(self, timeout: float):
-        if not self._conn.poll(timeout):
-            raise RuntimeError(
-                f"shard {self.shard} did not reply within {timeout:g}s "
-                f"(alive={self.alive})"
+        try:
+            ready = self._conn.poll(timeout)
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerFailure(
+                self.shard, "died", f"pipe failed: {error}"
+            ) from error
+        if not ready:
+            raise WorkerFailure(
+                self.shard, "timeout",
+                f"no reply within {timeout:g}s (alive={self.alive})",
             )
         try:
             return self._conn.recv()
-        except EOFError as error:
-            raise RuntimeError(
-                f"shard {self.shard} worker process died"
+        except (EOFError, OSError) as error:
+            raise WorkerFailure(
+                self.shard, "died", "worker process died"
             ) from error
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Ask the worker to exit; escalate to terminate if it will not."""
+        """Ask the worker to exit; escalate terminate → kill if it will
+        not.  A worker ignoring both the stop command and SIGTERM (hung
+        in native code, or chaos-injected) is SIGKILLed — shutdown must
+        never hang on a wedged child."""
         try:
-            self._conn.send(("stop",))
+            self._conn.send(("stop", self._next_seq()))
             self._conn.poll(timeout)
         except (BrokenPipeError, OSError):
             pass
         self._process.join(timeout)
-        if self._process.is_alive():  # pragma: no cover - hung worker
+        if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def kill(self, timeout: float = 5.0) -> None:
+        """SIGKILL the worker outright (recovery path: it is already
+        considered dead or wedged; no goodbye protocol)."""
+        try:
+            self._process.kill()
+        except Exception:  # pragma: no cover - already gone
+            pass
+        self._process.join(timeout)
         try:
             self._conn.close()
         except OSError:  # pragma: no cover
@@ -333,5 +444,5 @@ class ShardWorker:
         return (
             f"ShardWorker(shard={self.shard}, "
             f"rows=[{self.spec.row_begin}, {self.spec.row_end}), "
-            f"alive={self.alive})"
+            f"generation={self.generation}, alive={self.alive})"
         )

@@ -13,12 +13,15 @@ Server-compatible front end.
 from __future__ import annotations
 
 import os
+import signal
 
 import numpy as np
 import pytest
 
 from repro import kernels
+from repro.core.cpi import CPIMethod
 from repro.core.tpa import TPA
+from repro.resilience.reaper import reap_orphan_segments
 from repro.engine import Engine, QueryRequest
 from repro.exceptions import ParameterError
 from repro.graph.diskgraph import DiskGraph
@@ -324,12 +327,18 @@ class TestShardedEngine:
 
     def test_worker_error_is_forwarded(self, small_community):
         plan = ShardPlan.uniform(small_community.num_nodes, 2)
-        with ShardedOperator(small_community, plan) as sharded:
+        # supervise=False: a heartbeat ping racing on the pipe would
+        # satisfy wait_ok before the error reply is read.
+        with ShardedOperator(
+            small_community, plan, supervise=False
+        ) as sharded:
             # An operand of the wrong width for the panels is caught
             # router-side; simulate a worker-side failure instead by
-            # sending a malformed command through the handle.
+            # sending a malformed command through the handle.  The
+            # command carries a proper sequence number so the error
+            # reply is not discarded as stale.
             worker = sharded.workers()[0]
-            worker._conn.send(("bogus",))
+            worker._send(("bogus", worker._next_seq()))
             with pytest.raises(RuntimeError, match="bogus"):
                 worker.wait_ok(30.0)
             # The worker loop survives the bad command.
@@ -519,6 +528,46 @@ class TestRouter:
             )
         assert report.requests == 20
         assert report.errors == 0
+
+
+class TestCrashRecovery:
+    """Satellite: a SIGKILLed shard worker must not change results.
+
+    The kill lands between two batches, so the next sweep (or the
+    supervisor heartbeat, whichever gets there first) finds the corpse,
+    respawns the worker against the live store, and the Router's
+    answers stay bitwise identical to a serial ``Engine.batch`` — with
+    zero ``/dev/shm`` orphans afterwards.
+    """
+
+    def test_sigkilled_worker_respawns_bitwise(self, small_community):
+        # CPI drives a real multi-iteration sweep through the shard
+        # workers on every batch (TPA's online phase answers graphs this
+        # small from the in-memory CSR without touching the operator).
+        # Two disjoint request sets: a repeat of the first would be
+        # answered by the engine's score cache, sweeping nothing.
+        before = [QueryRequest(seed=s, k=8) for s in range(16)]
+        after = [QueryRequest(seed=s, k=8) for s in range(16, 32)]
+        serial = Engine(CPIMethod(), small_community)
+        with Router(
+            CPIMethod(), small_community, num_shards=2,
+            max_batch=16, heartbeat_ms=50,
+        ) as router:
+            assert_results_equivalent(
+                serial.batch(before), router.batch(before, timeout=120)
+            )
+            victim = router.engine.shards.workers()[1]
+            os.kill(victim.pid, signal.SIGKILL)
+            assert_results_equivalent(
+                serial.batch(after), router.batch(after, timeout=120)
+            )
+            stats = router.stats()
+            assert stats["respawns"] >= 1
+            assert stats["failures"] == 0
+            assert stats["shards"]["generations"][1] >= 1
+            names = router.engine.shards._store.segment_names
+        assert_no_segments(names)
+        assert reap_orphan_segments() == []
 
 
 class TestSharedReportSchema:
