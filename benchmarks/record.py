@@ -249,6 +249,18 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
             compact_every=256,
         )
 
+    def phase_fields(prefix: str, stats: dict) -> dict:
+        """Flatten a deployment's per-phase breakdown (queue/dispatch/
+        sweep/gather/select mean ms per batch) into trajectory fields,
+        so phase-level regressions are diffable commit to commit just
+        like the headline q/s numbers."""
+        return {
+            f"{prefix}_phase_{name}_mean_ms": info["mean_ms"]
+            for name, info in sorted((stats.get("phases") or {}).items())
+        }
+
+    shard_stats = sharded.server_stats.get("shards") or {}
+
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "commit": _commit(),
@@ -294,6 +306,7 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         "serving_failures": report.server_stats.get("failures", 0),
         "serving_retries": report.server_stats.get("retries", 0),
         "serving_respawns": report.server_stats.get("respawns", 0),
+        **phase_fields("serving", report.server_stats),
         "sharded_shards": shards,
         "sharded_requests": sharded.requests,
         "sharded_queries_per_second": sharded.queries_per_second,
@@ -303,6 +316,17 @@ def measure(nodes: int, avg_degree: int, batch: int, repeats: int) -> dict:
         "sharded_failures": sharded.server_stats.get("failures", 0),
         "sharded_retries": sharded.server_stats.get("retries", 0),
         "sharded_respawns": sharded.server_stats.get("respawns", 0),
+        # Worker-pool-level counters from shard_stats(): process
+        # respawns, bounded sweep retries, and the per-shard generation
+        # numbers the store is serving at run end.
+        "sharded_shard_respawns": int(shard_stats.get("respawns", 0)),
+        "sharded_sweep_retries": int(shard_stats.get("sweep_retries", 0)),
+        "sharded_republishes": int(shard_stats.get("republishes", 0)),
+        "sharded_generations": [
+            int(generation)
+            for generation in shard_stats.get("generations", [])
+        ],
+        **phase_fields("sharded", sharded.server_stats),
         **updates.update_fields(),
         "updates_queries_per_second": updates.load.queries_per_second,
         "updates_latency_p50_ms": updates.load.latency_p50_ms,

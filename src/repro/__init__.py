@@ -86,6 +86,9 @@ Package map
   edge updates, epoch-aware cache repair, warm-restarted serving).
 * :mod:`repro.tune` — hardware autotuning (measured ``TuneProfile``
   knobs cached per machine fingerprint) and core/NUMA pinning.
+* :mod:`repro.obs` — observability: process-global metrics registry
+  (counters/gauges/histograms, Prometheus text + JSON exposition) and
+  low-overhead cross-process request tracing (``REPRO_TRACE``).
 * :mod:`repro.resilience` — fault tolerance for the serving stack:
   worker supervision/respawn (``Supervisor``), bounded retries
   (``RetryPolicy``), request deadlines, deterministic fault injection
@@ -171,6 +174,7 @@ from repro.engine import (
 from repro.graph.diskgraph import DiskGraph
 from repro.graph.stats import GraphStats, graph_stats
 from repro import kernels
+from repro import obs
 from repro import serving
 from repro.serving import (
     LatencyStats,
@@ -279,6 +283,7 @@ __all__ = [
     "MemoryBudget",
     "format_bytes",
     "kernels",
+    "obs",
     "serving",
     "Server",
     "Scheduler",

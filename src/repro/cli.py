@@ -192,6 +192,15 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="base backoff of --retry-attempts retries")
         bench.add_argument("--json", dest="json_out",
                            help="also write the report as JSON to this path")
+        bench.add_argument("--trace", dest="trace_out", metavar="PATH",
+                           help="enable request tracing for the run and "
+                                "dump the retained spans as JSON to PATH "
+                                "(inspect with 'repro obs trace PATH')")
+        bench.add_argument("--metrics-out", dest="metrics_out",
+                           metavar="PATH",
+                           help="dump the metrics registry after the run: "
+                                "Prometheus text, or a JSON snapshot when "
+                                "PATH ends in .json")
 
     bench = commands.add_parser(
         "serve-bench",
@@ -232,6 +241,25 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(0 = never compact, pure overlay serving)")
     update.add_argument("--backlog", type=int, default=1024,
                         help="max benchmark-inserted edges alive at once")
+
+    obs = commands.add_parser(
+        "obs",
+        help="inspect observability dumps written by the benchmarks",
+    )
+    obs_kinds = obs.add_subparsers(dest="obs_command", required=True)
+    obs_metrics_cmd = obs_kinds.add_parser(
+        "metrics",
+        help="summarize a metrics dump (--metrics-out file: Prometheus "
+             "text or JSON snapshot)",
+    )
+    obs_metrics_cmd.add_argument("path", help="metrics dump file")
+    obs_trace_cmd = obs_kinds.add_parser(
+        "trace",
+        help="render the span trees in a trace dump (--trace file)",
+    )
+    obs_trace_cmd.add_argument("path", help="trace dump file (JSON)")
+    obs_trace_cmd.add_argument("--trace-id", default=None,
+                               help="render only this trace")
 
     return parser
 
@@ -359,8 +387,8 @@ def _print_bench_report(args: argparse.Namespace, report, *, kind: str,
         for key in ("failures", "retries", "respawns", "deadlines_exceeded")
     )
     print(f"server faults   {resilience}")
-    if "cache" in stats:
-        cache = stats["cache"]
+    cache = stats.get("cache")
+    if cache:
         print(f"cache           {cache['hits']} hits / "
               f"{cache['misses']} misses / {cache['evictions']} evictions")
 
@@ -402,9 +430,18 @@ def _command_bench(args: argparse.Namespace) -> int:
     closed-loop load; renders the shared report.  Knob precedence is the
     deployments' own: explicit flag > tuned profile > static default —
     the header and JSON config echo the *resolved* values."""
+    from repro.obs import trace as obs_trace
     from repro.serving import Server, run_closed_loop
 
     kind = args.command
+    if args.trace_out:
+        # Opt the whole run (and any shard workers it spawns, via the
+        # inherited environment) into tracing before the deployment
+        # exists, so the very first request is already traced.
+        obs_trace.set_tracing(True)
+        import os
+
+        os.environ.setdefault(obs_trace.TRACE_ENV_VAR, "1")
     graph, source = _bench_graph(args)
     if kind == "update-bench":
         from repro.dynamic import DynamicGraph
@@ -521,6 +558,22 @@ def _command_bench(args: argparse.Namespace) -> int:
         print(f"compactions     {result.compactions}")
         print(f"updates/sec     {result.updates_per_second:.1f}")
     _print_bench_report(args, report, kind=kind, config=config, extra=extra)
+    if args.trace_out:
+        retained = obs_trace.dump_traces(args.trace_out)
+        print(f"wrote {len(retained['spans'])} spans "
+              f"({len(obs_trace.trace_ids())} traces) to {args.trace_out}")
+    if args.metrics_out:
+        from repro.obs import metrics as obs_metrics
+
+        registry = obs_metrics.get_registry()
+        if args.metrics_out.endswith(".json"):
+            payload = obs_metrics.snapshot_json(indent=2) + "\n"
+        else:
+            payload = registry.expose()
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {len(registry.families())} metric families "
+              f"to {args.metrics_out}")
     return 0
 
 
@@ -566,6 +619,77 @@ def _command_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_obs(args: argparse.Namespace) -> int:
+    """Inspect dump files written by ``--metrics-out`` / ``--trace``.
+
+    A fresh CLI process has an empty registry and span buffer, so both
+    subcommands operate on the files the benchmarks wrote rather than
+    on live state: ``metrics`` re-parses the exposition text (or JSON
+    snapshot) and prints a per-family summary; ``trace`` rebuilds and
+    renders the span trees."""
+    import json
+
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    try:
+        text = Path(args.path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise SystemExit(f"cannot read {args.path!r}: {error}")
+
+    if args.obs_command == "metrics":
+        if text.lstrip().startswith("{"):
+            snapshot = json.loads(text)
+            families = snapshot.get("families", {})
+            rows = []
+            for name in sorted(families):
+                family = families[name]
+                for sample in family.get("samples", []):
+                    labels = sample.get("labels") or {}
+                    if "value" in sample:
+                        rows.append((name, labels, sample["value"]))
+                    else:  # histogram sample
+                        rows.append(
+                            (f"{name}_sum", labels, sample["sum"])
+                        )
+                        rows.append(
+                            (f"{name}_count", labels, sample["count"])
+                        )
+        else:
+            try:
+                families = obs_metrics.parse_prometheus_text(text)
+            except ValueError as error:
+                raise SystemExit(f"malformed metrics dump: {error}")
+            rows = [
+                sample
+                for name in sorted(families)
+                for sample in families[name]["samples"]
+            ]
+        for sample_name, labels, value in rows:
+            rendered = (
+                "{" + ",".join(
+                    f"{key}={labels[key]}" for key in sorted(labels)
+                ) + "}"
+                if labels else ""
+            )
+            print(f"{sample_name}{rendered} {value:g}")
+        print(f"# {len(families)} families, {len(rows)} samples")
+        return 0
+
+    document = json.loads(text)
+    spans = document.get("spans", [])
+    by_trace: dict[str, list] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    wanted = [args.trace_id] if args.trace_id else sorted(by_trace)
+    for trace_id in wanted:
+        if trace_id not in by_trace:
+            raise SystemExit(f"trace {trace_id!r} not in {args.path}")
+        print(obs_trace.format_trace(trace_id, retained=by_trace[trace_id]))
+    print(f"# {len(spans)} spans across {len(by_trace)} traces")
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale)
     spec = DATASETS[args.dataset]
@@ -591,6 +715,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": _command_bench,
         "shard-bench": _command_bench,
         "update-bench": _command_bench,
+        "obs": _command_obs,
     }
     return handlers[args.command](args)
 

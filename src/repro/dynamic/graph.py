@@ -48,8 +48,17 @@ from repro import kernels
 from repro.dynamic.overlay import DeltaOverlay
 from repro.exceptions import DanglingNodeError, GraphFormatError, ParameterError
 from repro.graph.graph import DanglingPolicy, Graph
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["DynamicGraph"]
+
+
+def _mutation_counter():
+    return obs_metrics.get_registry().counter(
+        "repro_graph_mutations_total",
+        "Edge-set changes applied to dynamic graphs (epoch-token bumps).",
+        labelnames=("op",),
+    )
 
 #: Compaction epochs of dirty-row history retained for incremental shard
 #: republish; republishes falling further behind rebuild every stripe.
@@ -248,6 +257,8 @@ class DynamicGraph:
                     applied += 1
             if applied:
                 self._out_degree_cache = None
+        if applied:
+            _mutation_counter().labels(op="add").inc(applied)
         return applied
 
     def remove_edges(self, edges) -> int:
@@ -275,6 +286,8 @@ class DynamicGraph:
                     applied += 1
             if applied:
                 self._out_degree_cache = None
+        if applied:
+            _mutation_counter().labels(op="remove").inc(applied)
         return applied
 
     def _dangling_policy_unlocked(self) -> str:
@@ -314,6 +327,13 @@ class DynamicGraph:
             self._history.append((self._epoch, dirty))
             del self._history[:-_HISTORY_LIMIT]
             self._out_degree_cache = None
+            obs_metrics.get_registry().counter(
+                "repro_compactions_total",
+                "Dynamic-graph compactions (base epoch bumps).",
+            ).inc()
+            obs_metrics.get_registry().gauge(
+                "repro_graph_epoch", "Current dynamic-graph base epoch."
+            ).set(self._epoch)
             return dirty
 
     def dirty_rows_since(self, epoch: int) -> np.ndarray | None:

@@ -24,6 +24,8 @@ from repro.exceptions import ParameterError
 from repro.graph.graph import Graph
 from repro.kernels import select_top_k_many
 from repro.method import PPRMethod, banned_mask, banned_mask_many, select_top_k
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.serving.cache import ScoreCache
@@ -721,28 +723,36 @@ class Engine:
         bytes_resident = self._method.preprocessed_bytes()
         bound = self.error_bound()
         results = []
-        for request, seed in zip(requests, seeds.tolist()):
-            vector = scored[seed]
-            was_fresh = seed in fresh_set
-            # Later duplicates of a freshly computed seed are reuse, not
-            # compute — charge the batch wall-time once per distinct seed.
-            fresh_set.discard(seed)
-            base = QueryResult(
-                seed=seed,
-                method=self._method.name,
-                seconds=per_query_seconds if was_fresh else 0.0,
-                preprocessed_bytes=bytes_resident,
-                error_bound=bound,
-                cached=not was_fresh,
-            )
-            if request.k is None:
-                results.append(replace(base, scores=vector))
-            else:
-                picks = self._rank(vector, seed, request)
-                results.append(
-                    replace(base, top_nodes=picks, top_scores=vector[picks])
+        with obs_trace.phase("select"):
+            for request, seed in zip(requests, seeds.tolist()):
+                vector = scored[seed]
+                was_fresh = seed in fresh_set
+                # Later duplicates of a freshly computed seed are reuse,
+                # not compute — charge the batch wall-time once per
+                # distinct seed.
+                fresh_set.discard(seed)
+                base = QueryResult(
+                    seed=seed,
+                    method=self._method.name,
+                    seconds=per_query_seconds if was_fresh else 0.0,
+                    preprocessed_bytes=bytes_resident,
+                    error_bound=bound,
+                    cached=not was_fresh,
                 )
+                if request.k is None:
+                    results.append(replace(base, scores=vector))
+                else:
+                    picks = self._rank(vector, seed, request)
+                    results.append(
+                        replace(
+                            base, top_nodes=picks, top_scores=vector[picks]
+                        )
+                    )
         self._queries_served += len(results)
+        obs_metrics.get_registry().counter(
+            "repro_queries_served_total",
+            "Queries answered across every engine instance.",
+        ).inc(len(results))
         return results
 
     def _warm_hints(self, fresh: list[int]) -> np.ndarray | None:
@@ -851,31 +861,38 @@ class Engine:
                 np.take(matrix, self._reordering.to_reordered, axis=1,
                         out=panel)
                 matrix = panel
-            picks_block = (
-                self._rank_block(matrix, chunk, *fused_shape)
-                if fused_shape is not None
-                else None
-            )
-            for row, seed in enumerate(chunk.tolist()):
-                vector = matrix[row]
-                for position, index in enumerate(requests_by_seed[seed]):
-                    request = requests[index]
-                    if picks_block is not None:
-                        padded = picks_block[row]
-                        picks = padded[padded >= 0]  # strips -1; copies
-                    else:
-                        picks = self._rank(vector, seed, request)
-                    results[index] = QueryResult(
-                        seed=seed,
-                        method=self._method.name,
-                        seconds=per_query_seconds if position == 0 else 0.0,
-                        preprocessed_bytes=bytes_resident,
-                        error_bound=bound,
-                        cached=position > 0,
-                        top_nodes=picks,
-                        top_scores=vector[picks],
-                    )
+            with obs_trace.phase("select"):
+                picks_block = (
+                    self._rank_block(matrix, chunk, *fused_shape)
+                    if fused_shape is not None
+                    else None
+                )
+                for row, seed in enumerate(chunk.tolist()):
+                    vector = matrix[row]
+                    for position, index in enumerate(requests_by_seed[seed]):
+                        request = requests[index]
+                        if picks_block is not None:
+                            padded = picks_block[row]
+                            picks = padded[padded >= 0]  # strips -1; copies
+                        else:
+                            picks = self._rank(vector, seed, request)
+                        results[index] = QueryResult(
+                            seed=seed,
+                            method=self._method.name,
+                            seconds=(
+                                per_query_seconds if position == 0 else 0.0
+                            ),
+                            preprocessed_bytes=bytes_resident,
+                            error_bound=bound,
+                            cached=position > 0,
+                            top_nodes=picks,
+                            top_scores=vector[picks],
+                        )
         self._queries_served += len(requests)
+        obs_metrics.get_registry().counter(
+            "repro_queries_served_total",
+            "Queries answered across every engine instance.",
+        ).inc(len(requests))
         return results
 
     def _rank_block(

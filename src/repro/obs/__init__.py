@@ -1,0 +1,89 @@
+"""Unified observability: metrics registry + cross-process tracing.
+
+Two pillars, both dependency-free:
+
+- :mod:`repro.obs.metrics` — thread-safe Counter/Gauge/Histogram
+  families behind a process-global :class:`Registry`, exported as
+  Prometheus text (``registry.expose()``) or JSON
+  (``registry.snapshot()``), gated by ``REPRO_METRICS`` (default on).
+- :mod:`repro.obs.trace` — per-request span trees that follow a query
+  through scheduler, dispatch, shard-worker sweeps (across the pipe),
+  gather, and top-k, gated by ``REPRO_TRACE`` (default off) with
+  ``REPRO_TRACE_SAMPLE`` sampling.
+"""
+
+from repro.obs.metrics import (
+    METRICS_ENV_VAR,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    default_buckets,
+    get_registry,
+    metrics_enabled,
+    parse_prometheus_text,
+    set_metrics_enabled,
+)
+from repro.obs.trace import (
+    TRACE_ENV_VAR,
+    TRACE_SAMPLE_ENV_VAR,
+    TRACE_SCHEMA,
+    Span,
+    add_phase,
+    clear_spans,
+    collect_phases,
+    current_context,
+    drain_spans,
+    dump_traces,
+    format_trace,
+    ingest_spans,
+    new_trace_id,
+    phase,
+    set_trace_sample,
+    set_tracing,
+    span,
+    span_tree,
+    spans,
+    start_span,
+    trace_ids,
+    tracing_enabled,
+    use_context,
+)
+
+__all__ = [
+    "METRICS_ENV_VAR",
+    "METRICS_SCHEMA",
+    "TRACE_ENV_VAR",
+    "TRACE_SAMPLE_ENV_VAR",
+    "TRACE_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Span",
+    "add_phase",
+    "clear_spans",
+    "collect_phases",
+    "current_context",
+    "default_buckets",
+    "drain_spans",
+    "dump_traces",
+    "format_trace",
+    "get_registry",
+    "ingest_spans",
+    "metrics_enabled",
+    "new_trace_id",
+    "parse_prometheus_text",
+    "phase",
+    "set_metrics_enabled",
+    "set_trace_sample",
+    "set_tracing",
+    "span",
+    "span_tree",
+    "spans",
+    "start_span",
+    "trace_ids",
+    "tracing_enabled",
+    "use_context",
+]

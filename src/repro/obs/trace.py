@@ -1,0 +1,448 @@
+"""Low-overhead request tracing for the serving stack.
+
+A *trace* is minted per :class:`QueryRequest` at scheduler admission
+and rides the request through batching, dispatch, the pipe protocol
+into shard workers (whose spans are shipped back on the step reply),
+and back out through gather/top-k.  Spans use the monotonic clock
+(``time.perf_counter``) and land in a bounded process-global ring
+buffer, so retention is O(buffer) no matter how long a server runs.
+
+Tracing defaults **off**; ``REPRO_TRACE=1`` enables it and
+``REPRO_TRACE_SAMPLE`` (0..1, default 1.0) samples per-request with a
+seeded RNG so runs are reproducible.  The disabled fast path is a
+single module-bool check in :func:`new_trace_id` — the same shape as
+``resilience.faults.fire`` — which the overhead guard test holds to
+microseconds.
+
+Worker processes have their own clock origin, so spans shipped across
+the pipe are *rebased* by the ingesting parent: durations are exact,
+absolute offsets are aligned to the reply arrival.  Every span carries
+a ``pid`` tag so dumps stay honest about clock domains.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import itertools
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "TRACE_SAMPLE_ENV_VAR",
+    "TRACE_SCHEMA",
+    "Span",
+    "add_phase",
+    "clear_spans",
+    "collect_phases",
+    "current_context",
+    "drain_spans",
+    "dump_traces",
+    "format_trace",
+    "ingest_spans",
+    "new_trace_id",
+    "phase",
+    "set_trace_sample",
+    "set_tracing",
+    "span",
+    "spans",
+    "span_tree",
+    "start_span",
+    "trace_ids",
+    "tracing_enabled",
+    "use_context",
+]
+
+TRACE_ENV_VAR = "REPRO_TRACE"
+TRACE_SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
+TRACE_SCHEMA = "repro-trace/1"
+
+_TRUTHY = {"1", "true", "on", "yes"}
+_DEFAULT_BUFFER = 8192
+
+
+def _env_enabled() -> bool:
+    raw = os.environ.get(TRACE_ENV_VAR)
+    if raw is None:
+        return False
+    return raw.strip().lower() in _TRUTHY
+
+
+def _env_sample() -> float:
+    raw = os.environ.get(TRACE_SAMPLE_ENV_VAR)
+    if raw is None:
+        return 1.0
+    try:
+        value = float(raw)
+    except ValueError:
+        return 1.0
+    return min(1.0, max(0.0, value))
+
+
+_enabled = _env_enabled()
+_sample = _env_sample()
+_sampler = random.Random(0)
+_ids = itertools.count(1)
+_buffer: deque = deque(maxlen=_DEFAULT_BUFFER)
+_lock = threading.Lock()
+
+# Current (trace_id, span_id) pair: new spans parent themselves under it
+# and worker dispatches read it to decide whether to ship spans back.
+_context: contextvars.ContextVar[tuple[str, str] | None] = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+# Per-batch phase accumulator for the queue/dispatch/sweep/gather/select
+# breakdown; ``None`` outside an instrumented dispatch.
+_phases: contextvars.ContextVar[dict | None] = contextvars.ContextVar(
+    "repro_trace_phases", default=None
+)
+
+
+def tracing_enabled() -> bool:
+    return _enabled
+
+
+def set_tracing(on: bool | None) -> None:
+    """Force tracing on/off; ``None`` re-reads ``REPRO_TRACE``."""
+
+    global _enabled
+    _enabled = _env_enabled() if on is None else bool(on)
+
+
+def set_trace_sample(probability: float | None) -> None:
+    """Override the sample rate; ``None`` re-reads the env knob."""
+
+    global _sample
+    _sample = (
+        _env_sample()
+        if probability is None
+        else min(1.0, max(0.0, float(probability)))
+    )
+
+
+def set_buffer_size(size: int) -> None:
+    """Resize the span ring buffer (drops existing spans)."""
+
+    global _buffer
+    with _lock:
+        _buffer = deque(maxlen=max(1, int(size)))
+
+
+def new_trace_id() -> str | None:
+    """Mint a trace id, or ``None`` when tracing is off / unsampled.
+
+    This is the only call on the per-request hot path when tracing is
+    disabled, so the first check must stay a bare module bool.
+    """
+
+    if not _enabled:
+        return None
+    if _sample < 1.0:
+        with _lock:
+            if _sampler.random() >= _sample:
+                return None
+    return f"t{os.getpid():x}-{next(_ids):x}"
+
+
+def _new_span_id() -> str:
+    return f"s{os.getpid():x}-{next(_ids):x}"
+
+
+class Span:
+    """One timed operation inside a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "begin", "end",
+                 "tags")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str | None = None,
+        begin: float | None = None,
+        **tags: object,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.begin = time.perf_counter() if begin is None else begin
+        self.end: float | None = None
+        self.tags = dict(tags)
+
+    def tag(self, **tags: object) -> None:
+        self.tags.update(tags)
+
+    def finish(self, end: float | None = None, **tags: object) -> None:
+        if self.end is not None:
+            return
+        self.end = time.perf_counter() if end is None else end
+        if tags:
+            self.tags.update(tags)
+        _publish(self.to_dict())
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "begin": self.begin,
+            "end": self.end,
+            "duration_ms": (
+                None
+                if self.end is None
+                else (self.end - self.begin) * 1e3
+            ),
+            "tags": {"pid": os.getpid(), **self.tags},
+        }
+
+
+def start_span(
+    name: str,
+    trace_id: str | None,
+    parent_id: str | None = None,
+    begin: float | None = None,
+    **tags: object,
+) -> Span | None:
+    """Open a span, or return ``None`` for untraced requests."""
+
+    if trace_id is None:
+        return None
+    return Span(name, trace_id, parent_id=parent_id, begin=begin, **tags)
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    trace_id: str | None = None,
+    parent_id: str | None = None,
+    **tags: object,
+):
+    """Context manager: time ``name`` under the current trace context.
+
+    With no explicit ``trace_id`` the ambient context decides — outside
+    any trace this collapses to a try/finally around ``yield None``.
+    The opened span becomes the context for nested ``span()`` calls.
+    """
+
+    if trace_id is None:
+        ambient = _context.get()
+        if ambient is None:
+            yield None
+            return
+        trace_id, inherited = ambient
+        if parent_id is None:
+            parent_id = inherited
+    opened = Span(name, trace_id, parent_id=parent_id, **tags)
+    token = _context.set((trace_id, opened.span_id))
+    try:
+        yield opened
+    finally:
+        _context.reset(token)
+        opened.finish()
+
+
+def current_context() -> tuple[str, str] | None:
+    """The ambient ``(trace_id, span_id)`` pair, if any."""
+
+    return _context.get()
+
+
+@contextlib.contextmanager
+def use_context(trace_id: str | None, span_id: str | None):
+    """Install an explicit parent context (batch dispatch entry point)."""
+
+    if trace_id is None or span_id is None:
+        yield
+        return
+    token = _context.set((trace_id, span_id))
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+# -- phase accounting ------------------------------------------------------
+
+
+@contextlib.contextmanager
+def collect_phases(accumulator: dict):
+    """Route :func:`add_phase` calls into ``accumulator`` for one batch."""
+
+    token = _phases.set(accumulator)
+    try:
+        yield accumulator
+    finally:
+        _phases.reset(token)
+
+
+def add_phase(name: str, seconds: float) -> None:
+    """Credit ``seconds`` to a lifecycle phase of the current batch."""
+
+    accumulator = _phases.get()
+    if accumulator is not None:
+        accumulator[name] = accumulator.get(name, 0.0) + seconds
+
+
+@contextlib.contextmanager
+def phase(name: str, **tags: object):
+    """Time a block as both a phase credit and (when traced) a span."""
+
+    ambient = _context.get()
+    opened = (
+        Span(name, ambient[0], parent_id=ambient[1], **tags)
+        if ambient is not None
+        else None
+    )
+    begin = time.perf_counter()
+    try:
+        yield opened
+    finally:
+        elapsed = time.perf_counter() - begin
+        add_phase(name, elapsed)
+        if opened is not None:
+            opened.finish()
+
+
+# -- ring buffer -----------------------------------------------------------
+
+
+def _publish(span_dict: dict) -> None:
+    with _lock:
+        _buffer.append(span_dict)
+
+
+def ingest_spans(span_dicts, rebase_end: float | None = None) -> None:
+    """Adopt spans shipped from another process.
+
+    Worker clocks have a different origin, so when ``rebase_end`` is
+    given (the parent-side arrival time) each span keeps its measured
+    duration but is re-anchored to end at ``rebase_end``.
+    """
+
+    if not span_dicts:
+        return
+    adopted = []
+    for item in span_dicts:
+        entry = dict(item)
+        if rebase_end is not None and entry.get("end") is not None:
+            duration = entry["end"] - entry["begin"]
+            entry["end"] = rebase_end
+            entry["begin"] = rebase_end - duration
+            entry.setdefault("tags", {})
+            entry["tags"] = {**entry["tags"], "clock": "rebased"}
+        adopted.append(entry)
+    with _lock:
+        _buffer.extend(adopted)
+
+
+def spans(trace_id: str | None = None) -> list[dict]:
+    """Snapshot retained spans, optionally for one trace."""
+
+    with _lock:
+        retained = list(_buffer)
+    if trace_id is None:
+        return retained
+    return [item for item in retained if item["trace_id"] == trace_id]
+
+
+def drain_spans() -> list[dict]:
+    """Snapshot and clear the ring buffer."""
+
+    with _lock:
+        retained = list(_buffer)
+        _buffer.clear()
+    return retained
+
+
+def clear_spans() -> None:
+    with _lock:
+        _buffer.clear()
+
+
+def trace_ids() -> list[str]:
+    """Distinct trace ids currently retained, oldest first."""
+
+    seen: dict[str, None] = {}
+    for item in spans():
+        seen.setdefault(item["trace_id"], None)
+    return list(seen)
+
+
+# -- export ----------------------------------------------------------------
+
+
+def dump_traces(path: str | None = None, trace_id: str | None = None) -> dict:
+    """Build (and optionally write) the JSON trace document."""
+
+    document = {"schema": TRACE_SCHEMA, "spans": spans(trace_id)}
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    return document
+
+
+def span_tree(trace_id: str, retained: list[dict] | None = None) -> list[dict]:
+    """Spans of one trace as a forest of ``{span, children}`` nodes.
+
+    Spans whose parent is missing (evicted from the ring buffer, or the
+    roots themselves) become forest roots, so partial traces still
+    render instead of vanishing.
+    """
+
+    if retained is None:
+        retained = spans(trace_id)
+    else:
+        retained = [s for s in retained if s["trace_id"] == trace_id]
+    nodes = {
+        item["span_id"]: {"span": item, "children": []} for item in retained
+    }
+    roots = []
+    for item in retained:
+        parent = item.get("parent_id")
+        if parent is not None and parent in nodes:
+            nodes[parent]["children"].append(nodes[item["span_id"]])
+        else:
+            roots.append(nodes[item["span_id"]])
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["span"]["begin"])
+    roots.sort(key=lambda node: node["span"]["begin"])
+    return roots
+
+
+def format_trace(trace_id: str, retained: list[dict] | None = None) -> str:
+    """ASCII rendering of one trace's span tree (``repro obs trace``)."""
+
+    lines = [f"trace {trace_id}"]
+
+    def walk(node: dict, depth: int) -> None:
+        item = node["span"]
+        duration = item.get("duration_ms")
+        if duration is None and item.get("end") is not None:
+            duration = (item["end"] - item["begin"]) * 1e3
+        shown = f"{duration:.3f} ms" if duration is not None else "open"
+        tags = {
+            key: value
+            for key, value in item.get("tags", {}).items()
+            if key not in {"pid", "clock"}
+        }
+        suffix = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(tags.items())) + "]"
+            if tags
+            else ""
+        )
+        lines.append(f"{'  ' * depth}- {item['name']} ({shown}){suffix}")
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in span_tree(trace_id, retained):
+        walk(root, 1)
+    return "\n".join(lines)

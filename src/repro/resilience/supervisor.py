@@ -28,6 +28,8 @@ from __future__ import annotations
 import os
 import threading
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = [
     "DEFAULT_HEARTBEAT_MS",
     "DEFAULT_MISSED_BEATS",
@@ -124,6 +126,18 @@ class Supervisor:
         return self._stop.is_set()
 
     def _loop(self) -> None:
+        registry = obs_metrics.get_registry()
+        probes = registry.counter(
+            "repro_supervisor_probes_total", "Heartbeat probe rounds run."
+        )
+        detected = registry.counter(
+            "repro_supervisor_detected_total",
+            "Unhealthy workers flagged by heartbeat probes.",
+        )
+        repairs = registry.counter(
+            "repro_supervisor_repairs_total",
+            "Workers successfully repaired by supervision.",
+        )
         while not self._stop.wait(self._interval):
             try:
                 unhealthy = list(self._probe())
@@ -131,11 +145,13 @@ class Supervisor:
                 continue
             with self._lock:
                 self._probes += 1
+            probes.inc()
             for identity in unhealthy:
                 if self._stop.is_set():
                     return
                 with self._lock:
                     self._detected += 1
+                detected.inc()
                 try:
                     self._repair(identity)
                 except Exception:  # noqa: BLE001 - keep supervising
@@ -144,6 +160,7 @@ class Supervisor:
                 else:
                     with self._lock:
                         self._repairs += 1
+                    repairs.inc()
 
     def stats(self) -> dict:
         """Lifetime counters of the supervision loop."""

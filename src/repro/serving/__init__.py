@@ -42,6 +42,7 @@ from repro.serving.metrics import (
     REPORT_SCHEMA,
     LatencyStats,
     bench_report,
+    front_stats,
     latency_histogram,
     percentiles,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "percentiles",
     "latency_histogram",
     "bench_report",
+    "front_stats",
     "REPORT_SCHEMA",
     "LoadReport",
     "run_closed_loop",

@@ -29,8 +29,16 @@ import numpy as np
 
 from repro import kernels
 from repro.exceptions import ParameterError
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["ScoreCache"]
+
+
+def _cache_counter(event: str):
+    return obs_metrics.get_registry().counter(
+        f"repro_cache_{event}_total",
+        f"Shared score-cache {event} across every attached engine.",
+    )
 
 
 class ScoreCache:
@@ -103,10 +111,11 @@ class ScoreCache:
             vector = self._entries.get(key)
             if vector is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return vector
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        _cache_counter("hits" if vector is not None else "misses").inc()
+        return vector
 
     def put(
         self, seed: int, vector: np.ndarray, token: str | None = None
@@ -115,12 +124,16 @@ class ScoreCache:
         capacity.  The array is marked read-only in place."""
         vector.setflags(write=False)
         key = (seed, kernels.cache_token() if token is None else token)
+        evicted = 0
         with self._lock:
             self._entries[key] = vector
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        if evicted:
+            _cache_counter("evictions").inc(evicted)
 
     def warm_hint(self, seed: int) -> np.ndarray | None:
         """The most recently cached vector for ``seed`` under *any*

@@ -56,6 +56,19 @@ class LoadReport:
     errors: int
     server_stats: dict = field(default_factory=dict)
     latencies_ms: np.ndarray | None = None
+    #: Mean server-side queue / compute share of the *same* requests the
+    #: client latencies above cover, read from the per-request timing
+    #: stamp ``dispatch_batch`` leaves on each future.  The client total
+    #: equals queue + compute plus only future-wakeup overhead, so the
+    #: two views finally agree request by request instead of comparing
+    #: a client mean against an unrelated ``LatencyStats`` window.
+    queue_mean_ms: float = 0.0
+    compute_mean_ms: float = 0.0
+    #: Per-request server-side splits (same order as ``latencies_ms``;
+    #: ``NaN`` rows where no stamp arrived), kept only with
+    #: ``keep_samples`` and summarized away by :meth:`to_dict`.
+    queue_ms: np.ndarray | None = None
+    compute_ms: np.ndarray | None = None
     #: Submissions re-attempted after backoff under a bounded
     #: :class:`~repro.resilience.RetryPolicy` (0 in legacy
     #: retry-forever mode, which counts only ``rejected``).
@@ -67,11 +80,11 @@ class LoadReport:
     deadlines_exceeded: int = 0
 
     def to_dict(self) -> dict:
-        """JSON-serializable view (sample array summarized away)."""
+        """JSON-serializable view (sample arrays summarized away)."""
         payload = {
             key: value
             for key, value in self.__dict__.items()
-            if key != "latencies_ms"
+            if key not in ("latencies_ms", "queue_ms", "compute_ms")
         }
         payload["seconds"] = float(self.seconds)
         return payload
@@ -125,6 +138,9 @@ def run_closed_loop(
         raise ParameterError("seed pool must not be empty")
 
     per_client_latencies: list[list[float]] = [[] for _ in range(clients)]
+    per_client_splits: list[list[tuple[float, float]]] = [
+        [] for _ in range(clients)
+    ]
     rejected = [0] * clients
     errors = [0] * clients
     retried = [0] * clients
@@ -134,6 +150,7 @@ def run_closed_loop(
     def client_loop(client: int) -> None:
         stride = max(1, seed_pool.size // clients)
         latencies = per_client_latencies[client]
+        splits = per_client_splits[client]
         # Per-client policy seed: clients back off on their own jitter
         # streams (no thundering herd) while the run as a whole stays
         # deterministic.
@@ -186,6 +203,17 @@ def run_closed_loop(
                 errors[client] += 1
                 continue
             latencies.append(time.perf_counter() - begin)
+            # The server stamps its queue/compute split on the future
+            # before resolving it, so the stamp is always visible here;
+            # NaN keeps the split arrays aligned with the latency
+            # samples if a front end without the stamp is driven.
+            timing = getattr(future, "repro_timing", None)
+            if timing is not None:
+                splits.append(
+                    (timing["queue_ms"], timing["compute_ms"])
+                )
+            else:
+                splits.append((float("nan"), float("nan")))
 
     threads = [
         threading.Thread(
@@ -206,6 +234,13 @@ def run_closed_loop(
         [value for bucket in per_client_latencies for value in bucket],
         dtype=np.float64,
     )
+    split_rows = np.asarray(
+        [pair for bucket in per_client_splits for pair in bucket],
+        dtype=np.float64,
+    ).reshape(-1, 2)
+    queue_ms = split_rows[:, 0]
+    compute_ms = split_rows[:, 1]
+    stamped = ~np.isnan(queue_ms)
     completed = int(samples.size)
     quantiles = percentiles(samples * 1e3)
     return LoadReport(
@@ -224,4 +259,12 @@ def run_closed_loop(
         latencies_ms=samples * 1e3 if keep_samples else None,
         retries=sum(retried),
         deadlines_exceeded=sum(deadline_misses),
+        queue_mean_ms=(
+            float(queue_ms[stamped].mean()) if stamped.any() else 0.0
+        ),
+        compute_mean_ms=(
+            float(compute_ms[stamped].mean()) if stamped.any() else 0.0
+        ),
+        queue_ms=queue_ms if keep_samples else None,
+        compute_ms=compute_ms if keep_samples else None,
     )

@@ -29,11 +29,14 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = [
     "LatencyStats",
     "percentiles",
     "latency_histogram",
     "bench_report",
+    "front_stats",
     "REPORT_SCHEMA",
 ]
 
@@ -107,7 +110,62 @@ def bench_report(report, *, kind: str, config: dict) -> dict:
     stats = document.get("server_stats") or {}
     for key in LatencyStats.COUNTERS:
         document[f"{key}_total"] = int(stats.get(key, 0))
+    # Shard lifetime counters get the same treatment: respawns and sweep
+    # retries inside the worker pool should be as visible in a benchmark
+    # artifact as the request-level failure counters above.
+    shards = stats.get("shards") or {}
+    if shards:
+        document["shard_respawns_total"] = int(shards.get("respawns", 0))
+        document["shard_sweep_retries_total"] = int(
+            shards.get("sweep_retries", 0)
+        )
+        document["shard_republishes_total"] = int(
+            shards.get("republishes", 0)
+        )
+        document["shard_generations"] = [
+            int(generation) for generation in shards.get("generations", [])
+        ]
+    # The full registry snapshot rides along so the report carries every
+    # family (cache hits, sweep timings, supervisor activity, ...) that
+    # the flat fields above don't individually lift.
+    document["metrics"] = obs_metrics.get_registry().snapshot()
     return document
+
+
+def front_stats(
+    snapshot: dict,
+    *,
+    workers: int,
+    pending: int,
+    max_batch: int,
+    max_wait_ms: float,
+    overloads: int,
+    pinning,
+    queries_served: int,
+    online_seconds: float,
+    cache_stats: dict | None,
+    shard_stats: dict | None = None,
+) -> dict:
+    """One stats shape for both serving front ends.
+
+    :meth:`Server.stats` and :meth:`Router.stats` feed their own inputs
+    through this helper so the two deployments report identical keys —
+    a threaded server answers with ``shards=None``, a sharded router
+    with ``cache_stats`` of its shared cache (or ``None``) — and report
+    consumers never branch on which front end produced the blob.
+    """
+    merged = dict(snapshot)
+    merged["workers"] = int(workers)
+    merged["pending"] = int(pending)
+    merged["max_batch"] = int(max_batch)
+    merged["max_wait_ms"] = float(max_wait_ms)
+    merged["overloads"] = int(overloads)
+    merged["pinning"] = pinning
+    merged["queries_served"] = int(queries_served)
+    merged["online_seconds"] = float(online_seconds)
+    merged["cache"] = cache_stats
+    merged["shards"] = shard_stats
+    return merged
 
 #: Default sample-window size: percentiles reflect the most recent
 #: requests, and memory stays bounded on a long-lived server.
@@ -147,6 +205,16 @@ class LatencyStats:
     #: their queue deadline passed.
     COUNTERS = ("failures", "retries", "respawns", "deadlines_exceeded")
 
+    #: Registry family behind each counter (dual-write: the instance
+    #: keeps exact lifetime counts for its own snapshot, the process
+    #: registry aggregates across every recorder for ``expose()``).
+    _COUNTER_HELP = {
+        "failures": "Requests whose dispatch finally failed.",
+        "retries": "Batch re-runs absorbed by a retry policy.",
+        "respawns": "Dead workers (threads or processes) respawned.",
+        "deadlines_exceeded": "Requests failed fast on an expired deadline.",
+    }
+
     def __init__(self, capacity: int = _DEFAULT_WINDOW):
         self._lock = threading.Lock()
         self._queue_seconds: deque[float] = deque(maxlen=capacity)
@@ -156,12 +224,18 @@ class LatencyStats:
         self._first_record_at: float | None = None
         self._last_completion_at = 0.0
         self._counters = {name: 0 for name in self.COUNTERS}
+        self._phase_seconds: dict[str, float] = {}
+        self._phase_counts: dict[str, int] = {}
 
     def count(self, name: str, n: int = 1) -> None:
         """Bump a failure-path counter (see :attr:`COUNTERS`; unknown
         names are admitted so callers can add experiment-local ones)."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + int(n)
+        help_text = self._COUNTER_HELP.get(name, "")
+        obs_metrics.get_registry().counter(
+            f"repro_{name}_total", help_text
+        ).inc(n)
 
     def record(
         self,
@@ -182,6 +256,49 @@ class LatencyStats:
                 # request must not deflate the rate.
                 self._first_record_at = now - total_seconds
             self._last_completion_at = now
+            self._phase_seconds["queue"] = (
+                self._phase_seconds.get("queue", 0.0) + queue_seconds
+            )
+            self._phase_counts["queue"] = (
+                self._phase_counts.get("queue", 0) + 1
+            )
+        registry = obs_metrics.get_registry()
+        registry.counter(
+            "repro_requests_total", "Requests completed successfully."
+        ).inc()
+        registry.histogram(
+            "repro_request_seconds", "End-to-end request latency."
+        ).observe(total_seconds)
+        registry.histogram(
+            "repro_phase_seconds",
+            "Per-batch time credited to each request lifecycle phase.",
+            labelnames=("phase",),
+        ).labels(phase="queue").observe(queue_seconds)
+
+    def record_phases(self, phases: dict[str, float]) -> None:
+        """Fold one dispatched batch's phase breakdown into the stats.
+
+        ``phases`` maps lifecycle phase names (``dispatch``/``sweep``/
+        ``gather``/``select``) to seconds spent there for the batch; the
+        queue phase is accounted per request by :meth:`record`.
+        """
+        if not phases:
+            return
+        with self._lock:
+            for name, seconds in phases.items():
+                self._phase_seconds[name] = (
+                    self._phase_seconds.get(name, 0.0) + float(seconds)
+                )
+                self._phase_counts[name] = (
+                    self._phase_counts.get(name, 0) + 1
+                )
+        family = obs_metrics.get_registry().histogram(
+            "repro_phase_seconds",
+            "Per-batch time credited to each request lifecycle phase.",
+            labelnames=("phase",),
+        )
+        for name, seconds in phases.items():
+            family.labels(phase=name).observe(float(seconds))
 
     def snapshot(self) -> dict[str, float]:
         """Counters plus latency percentiles, all in one consistent view.
@@ -197,6 +314,18 @@ class LatencyStats:
             computes = list(self._compute_seconds)
             completed = self._completed
             counters = dict(self._counters)
+            phases = {
+                name: {
+                    "total_ms": self._phase_seconds[name] * 1e3,
+                    "mean_ms": (
+                        self._phase_seconds[name]
+                        / max(self._phase_counts.get(name, 1), 1)
+                    )
+                    * 1e3,
+                    "count": self._phase_counts.get(name, 0),
+                }
+                for name in sorted(self._phase_seconds)
+            }
             span = (
                 self._last_completion_at - self._first_record_at
                 if self._first_record_at is not None
@@ -217,6 +346,7 @@ class LatencyStats:
             "latency_p95_ms": latency_ms["p95"],
             "latency_p99_ms": latency_ms["p99"],
             "latency_max_ms": float(max(totals)) * 1e3 if totals else 0.0,
+            "phases": phases,
             **counters,
         }
 

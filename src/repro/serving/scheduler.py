@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 
 from repro.engine import QueryRequest
 from repro.exceptions import ParameterError, ServerOverloaded
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["Scheduler", "PendingRequest"]
 
@@ -51,6 +53,13 @@ class PendingRequest:
     #: ``deadline_ms`` at submission; checked at dispatch time by
     #: :func:`repro.serving.server.dispatch_batch`.
     deadline_at: float | None = None
+    #: Trace identity minted at admission when tracing is enabled and
+    #: the request is sampled; ``None`` rides for free otherwise.
+    trace_id: str | None = None
+    #: The request's root span, opened at admission and finished when
+    #: its future resolves (outcome tagged ``ok``/``error``/
+    #: ``deadline_exceeded``/``cancelled``).
+    root_span: "obs_trace.Span | None" = None
 
 
 class Scheduler:
@@ -88,6 +97,15 @@ class Scheduler:
         self._queue: deque[PendingRequest] = deque()
         self._condition = threading.Condition()
         self._closed = False
+        self._overloads = 0
+        registry = obs_metrics.get_registry()
+        self._depth_gauge = registry.gauge(
+            "repro_scheduler_depth", "Requests currently queued."
+        )
+        self._overload_counter = registry.counter(
+            "repro_scheduler_overloads_total",
+            "Submissions rejected at the admission bound.",
+        )
 
     @property
     def max_batch(self) -> int:
@@ -108,6 +126,13 @@ class Scheduler:
             return len(self._queue)
 
     @property
+    def overloads(self) -> int:
+        """Lifetime count of submissions rejected at the admission
+        bound."""
+        with self._condition:
+            return self._overloads
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -124,12 +149,24 @@ class Scheduler:
             pending.deadline_at = (
                 pending.submitted_at + float(deadline_ms) / 1e3
             )
+        trace_id = obs_trace.new_trace_id()
+        if trace_id is not None:
+            pending.trace_id = trace_id
+            pending.root_span = obs_trace.start_span(
+                "request",
+                trace_id,
+                begin=pending.submitted_at,
+                seed=int(getattr(request, "seed", -1)),
+            )
         with self._condition:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             if self._max_pending and len(self._queue) >= self._max_pending:
+                self._overloads += 1
+                self._overload_counter.inc()
                 raise ServerOverloaded(len(self._queue), self._max_pending)
             self._queue.append(pending)
+            self._depth_gauge.set(len(self._queue))
             self._condition.notify()
         return pending.future
 
@@ -165,6 +202,7 @@ class Scheduler:
                                 min(len(self._queue), self._max_batch)
                             )
                         ]
+                        self._depth_gauge.set(len(self._queue))
                         if self._queue:
                             # More than one batch is ready: wake another
                             # waiting worker for the remainder.
@@ -198,8 +236,11 @@ class Scheduler:
         with self._condition:
             dropped = list(self._queue)
             self._queue.clear()
+            self._depth_gauge.set(0)
         for pending in dropped:
             pending.future.cancel()
+            if pending.root_span is not None:
+                pending.root_span.finish(outcome="cancelled")
         return len(dropped)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -43,11 +43,12 @@ from repro.engine import Engine, QueryRequest, QueryResult
 from repro.exceptions import DeadlineExceeded, ParameterError
 from repro.graph.graph import Graph
 from repro.method import PPRMethod
+from repro.obs import trace as obs_trace
 from repro.resilience import faults
 from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.resilience.supervisor import Supervisor
 from repro.serving.cache import ScoreCache
-from repro.serving.metrics import LatencyStats
+from repro.serving.metrics import LatencyStats, front_stats
 from repro.serving.scheduler import PendingRequest, Scheduler
 
 __all__ = ["Server", "dispatch_batch", "resolve_future"]
@@ -99,6 +100,10 @@ def dispatch_batch(
                 pending.request, "deadline_ms", None
             )
             metrics.count("deadlines_exceeded")
+            if pending.root_span is not None:
+                pending.root_span.finish(
+                    end=dispatched_at, outcome="deadline_exceeded"
+                )
             resolve_future(
                 pending.future,
                 error=DeadlineExceeded(
@@ -111,31 +116,93 @@ def dispatch_batch(
     if not live:
         return
 
+    # Tracing: every traced member gets a "scheduler" (queue-wait) span;
+    # the batch's single "dispatch" span parents under the *first*
+    # traced request — a batch is one unit of work, and one connected
+    # tree beats per-member duplicates of identical compute spans.
+    traced = [pending for pending in live if pending.trace_id is not None]
+    for pending in traced:
+        queue_span = obs_trace.start_span(
+            "scheduler",
+            pending.trace_id,
+            parent_id=pending.root_span.span_id
+            if pending.root_span is not None
+            else None,
+            begin=pending.submitted_at,
+        )
+        if queue_span is not None:
+            queue_span.finish(end=dispatched_at)
+    primary = traced[0] if traced else None
+    dispatch_span = (
+        obs_trace.start_span(
+            "dispatch",
+            primary.trace_id,
+            parent_id=primary.root_span.span_id
+            if primary.root_span is not None
+            else None,
+            begin=dispatched_at,
+            batch=len(live),
+        )
+        if primary is not None
+        else None
+    )
+
     def run_batch():
         return engine.batch([pending.request for pending in live])
 
+    phases: dict[str, float] = {}
+    context = (
+        obs_trace.use_context(primary.trace_id, dispatch_span.span_id)
+        if dispatch_span is not None
+        else obs_trace.use_context(None, None)
+    )
     try:
-        if retry is None:
-            results = run_batch()
-        else:
-            results = call_with_retry(
-                run_batch,
-                retry,
-                on_retry=lambda error, delay_ms: metrics.count("retries"),
-            )
+        with obs_trace.collect_phases(phases), context:
+            if retry is None:
+                results = run_batch()
+            else:
+                results = call_with_retry(
+                    run_batch,
+                    retry,
+                    on_retry=lambda error, delay_ms: metrics.count(
+                        "retries"
+                    ),
+                )
     except BaseException as error:  # noqa: BLE001 - forwarded to clients
         metrics.count("failures", len(live))
+        if dispatch_span is not None:
+            dispatch_span.finish(outcome="error")
         for pending in live:
+            if pending.root_span is not None:
+                pending.root_span.finish(
+                    outcome="error", error=type(error).__name__
+                )
             resolve_future(pending.future, error=error)
         return
     finished_at = time.perf_counter()
+    if dispatch_span is not None:
+        dispatch_span.finish(end=finished_at, outcome="ok")
     compute_share = (finished_at - dispatched_at) / len(live)
+    phases["dispatch"] = finished_at - dispatched_at
+    metrics.record_phases(phases)
     for pending, result in zip(live, results):
+        queue_seconds = dispatched_at - pending.submitted_at
+        total_seconds = finished_at - pending.submitted_at
         metrics.record(
-            queue_seconds=dispatched_at - pending.submitted_at,
+            queue_seconds=queue_seconds,
             compute_seconds=compute_share,
-            total_seconds=finished_at - pending.submitted_at,
+            total_seconds=total_seconds,
         )
+        # Server-side split stamped on the future *before* it resolves,
+        # so a client unblocked by result() always sees it — loadgen
+        # reads this to attribute its wall-clock to queue vs compute.
+        pending.future.repro_timing = {
+            "queue_ms": queue_seconds * 1e3,
+            "compute_ms": compute_share * 1e3,
+            "total_ms": total_seconds * 1e3,
+        }
+        if pending.root_span is not None:
+            pending.root_span.finish(end=finished_at, outcome="ok")
         resolve_future(pending.future, result=result)
 
 
@@ -362,27 +429,34 @@ class Server:
 
     def stats(self) -> dict:
         """One merged view: latency snapshot, queue depth, worker count,
-        per-replica engine counters summed, and shared-cache counters."""
-        merged = self._metrics.snapshot()
-        merged["workers"] = self.workers
-        merged["pending"] = self.pending
-        merged["max_batch"] = self._scheduler.max_batch
-        merged["max_wait_ms"] = self._scheduler.max_wait_ms
-        merged["pinning"] = (
-            [list(cpus) for cpus in self._pinning]
-            if self._pinning is not None
-            else None
-        )
+        per-replica engine counters summed, and shared-cache counters.
+        Shaped by :func:`~repro.serving.metrics.front_stats`, so the
+        keys match :meth:`repro.sharding.Router.stats` exactly
+        (``shards`` is ``None`` here — threads, not processes)."""
         snapshots = [engine.stats() for engine in self._engines]
-        merged["queries_served"] = sum(
-            snap["queries_served"] for snap in snapshots
+        return front_stats(
+            self._metrics.snapshot(),
+            workers=self.workers,
+            pending=self.pending,
+            max_batch=self._scheduler.max_batch,
+            max_wait_ms=self._scheduler.max_wait_ms,
+            overloads=self._scheduler.overloads,
+            pinning=(
+                [list(cpus) for cpus in self._pinning]
+                if self._pinning is not None
+                else None
+            ),
+            queries_served=sum(
+                snap["queries_served"] for snap in snapshots
+            ),
+            online_seconds=sum(
+                snap["online_seconds"] for snap in snapshots
+            ),
+            cache_stats=(
+                self._cache.stats() if self._cache is not None else None
+            ),
+            shard_stats=None,
         )
-        merged["online_seconds"] = sum(
-            snap["online_seconds"] for snap in snapshots
-        )
-        if self._cache is not None:
-            merged["cache"] = self._cache.stats()
-        return merged
 
     # -- the client surface ----------------------------------------------------
 

@@ -31,12 +31,15 @@ from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from typing import Sequence
 
 import numpy as np
 
 from repro import kernels
 from repro.exceptions import ParameterError, WorkerFailure
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.resilience.reaper import reap_orphan_segments
 from repro.resilience.supervisor import (
     Supervisor,
@@ -431,6 +434,10 @@ class ShardedOperator:
         self._store = new_store
         self._published_epoch = epoch
         self._republishes += 1
+        obs_metrics.get_registry().counter(
+            "repro_republishes_total",
+            "Stripe republishes after dynamic-graph compactions.",
+        ).inc()
         old_store.close()
         return True
 
@@ -452,44 +459,108 @@ class ShardedOperator:
         Column chunks are independent, so recovery never touches chunks
         already gathered.
         """
+        context = obs_trace.current_context()
         with self._comm_lock:
             for attempt in range(_SWEEP_ATTEMPTS):
                 panel_x = self._store.panel("x", ncols, dtype)
                 panel_y = self._store.panel("y", ncols, dtype)
                 np.copyto(panel_x, x)
+                # Each attempt is its own "sweep" span: a retried chunk
+                # shows up as attempt=2 under the same trace id, with the
+                # respawned worker's child span hanging beneath it.
+                sweep_span = (
+                    obs_trace.Span(
+                        "sweep",
+                        context[0],
+                        parent_id=context[1],
+                        attempt=attempt + 1,
+                        ncols=ncols,
+                    )
+                    if context is not None
+                    else None
+                )
+                sweep_begin = time.perf_counter()
                 try:
-                    self._step_all(ncols, dtype, decay, backend)
+                    self._step_all(
+                        ncols,
+                        dtype,
+                        decay,
+                        backend,
+                        trace=(
+                            (context[0], sweep_span.span_id, attempt + 1)
+                            if sweep_span is not None
+                            else None
+                        ),
+                    )
                 except _SweepFailed as wreck:
+                    obs_trace.add_phase(
+                        "sweep", time.perf_counter() - sweep_begin
+                    )
+                    if sweep_span is not None:
+                        sweep_span.finish(outcome="retried")
                     if attempt + 1 >= _SWEEP_ATTEMPTS:
                         raise wreck.failures[0]
                     self._sweep_retries += 1
+                    obs_metrics.get_registry().counter(
+                        "repro_sweep_retries_total",
+                        "Sweep chunks re-run after worker failures.",
+                    ).inc()
                     self._recover(wreck.failures)
                     continue
-                np.copyto(out, panel_y)
+                obs_trace.add_phase(
+                    "sweep", time.perf_counter() - sweep_begin
+                )
+                if sweep_span is not None:
+                    sweep_span.finish(outcome="ok")
+                with obs_trace.phase("gather"):
+                    np.copyto(out, panel_y)
                 self._steps += 1
                 return
 
     def _step_all(
-        self, ncols: int, dtype: np.dtype, decay: float | None, backend: str
+        self,
+        ncols: int,
+        dtype: np.dtype,
+        decay: float | None,
+        backend: str,
+        trace: tuple[str, str, int] | None = None,
     ) -> None:
         """One step fan-out; raises :class:`_SweepFailed` with every
         member failure (the fan-in drains all live workers even after
         one fails, so survivors are never left with un-awaited
-        replies the sequence numbers would have to discard later)."""
+        replies the sequence numbers would have to discard later).
+        Step replies carry each worker's measured sweep seconds (fed to
+        the ``repro_sweep_seconds`` histogram) and, for traced requests,
+        the worker-side child spans to adopt."""
         failures: list[WorkerFailure] = []
         stepped: list[ShardWorker] = []
         for worker in self._workers:
             try:
-                worker.send_step(ncols, dtype, decay, backend)
+                worker.send_step(ncols, dtype, decay, backend, trace=trace)
             except WorkerFailure as failure:
                 failures.append(failure)
             else:
                 stepped.append(worker)
+        sweep_seconds = obs_metrics.get_registry().histogram(
+            "repro_sweep_seconds",
+            "Worker-measured per-shard sweep step time.",
+            labelnames=("shard", "backend"),
+        )
         for worker in stepped:
             try:
-                worker.wait_ok(self._step_timeout)
+                detail = worker.wait_ok(self._step_timeout)
             except WorkerFailure as failure:
                 failures.append(failure)
+            else:
+                if isinstance(detail, dict):
+                    arrived_at = time.perf_counter()
+                    sweep_seconds.labels(
+                        shard=worker.shard, backend=backend
+                    ).observe(float(detail.get("seconds", 0.0)))
+                    if detail.get("spans"):
+                        obs_trace.ingest_spans(
+                            detail["spans"], rebase_end=arrived_at
+                        )
         if failures:
             raise _SweepFailed(failures)
 
@@ -525,6 +596,11 @@ class ShardedOperator:
         worker.wait_ready(self._step_timeout)
         self._workers[index] = worker
         self._respawns += 1
+        obs_metrics.get_registry().counter(
+            "repro_shard_respawns_total",
+            "Shard worker processes replaced after death or hang.",
+            labelnames=("shard",),
+        ).labels(shard=index).inc()
         hook = self.on_respawn
         if hook is not None:
             hook()

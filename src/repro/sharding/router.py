@@ -36,7 +36,7 @@ from repro.kernels.reorder import LocalityReordering
 from repro.method import PPRMethod
 from repro.resilience.retry import RetryPolicy
 from repro.serving.cache import ScoreCache
-from repro.serving.metrics import LatencyStats
+from repro.serving.metrics import LatencyStats, front_stats
 from repro.serving.scheduler import Scheduler
 from repro.serving.server import dispatch_batch
 from repro.sharding.plan import ShardPlan
@@ -275,18 +275,29 @@ class Router:
 
     def stats(self) -> dict:
         """One merged view: latency snapshot, queue depth, engine
-        counters, shard deployment shape, and cache counters."""
-        merged = self._metrics.snapshot()
-        merged["pending"] = self.pending
-        merged["max_batch"] = self._scheduler.max_batch
-        merged["max_wait_ms"] = self._scheduler.max_wait_ms
+        counters, shard deployment shape, and cache counters.  Shaped
+        by :func:`~repro.serving.metrics.front_stats` — the same keys
+        :meth:`repro.serving.Server.stats` reports, so consumers never
+        branch on which front end answered (``workers`` here is the
+        single dispatcher thread; per-process placement lives under
+        ``shards["pinning"]``)."""
         snap = self._engine.stats()
-        merged["queries_served"] = snap["queries_served"]
-        merged["online_seconds"] = snap["online_seconds"]
-        merged["shards"] = snap["shards"]
-        if self._cache is not None:
-            merged["cache"] = self._cache.stats()
-        return merged
+        shards = snap["shards"]
+        return front_stats(
+            self._metrics.snapshot(),
+            workers=1,
+            pending=self.pending,
+            max_batch=self._scheduler.max_batch,
+            max_wait_ms=self._scheduler.max_wait_ms,
+            overloads=self._scheduler.overloads,
+            pinning=shards.get("pinning"),
+            queries_served=snap["queries_served"],
+            online_seconds=snap["online_seconds"],
+            cache_stats=(
+                self._cache.stats() if self._cache is not None else None
+            ),
+            shard_stats=shards,
+        )
 
     # -- the client surface (identical to Server's) ----------------------------
 

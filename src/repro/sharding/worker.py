@@ -223,7 +223,11 @@ def shard_worker_main(
                 if faults.fire("poison_batch") is not None:
                     raise RuntimeError("injected fault: poisoned batch")
                 faults.fire_kill("kill_before_sweep")
-                _, _, ncols, dtype_name, decay, want_backend = command
+                # Older 6-tuple steps (no trace element) remain valid:
+                # respawn during a rolling upgrade must not wedge on an
+                # unpacking mismatch.
+                _, _, ncols, dtype_name, decay, want_backend = command[:6]
+                trace = command[6] if len(command) > 6 else None
                 if want_backend != kernels.get_backend():
                     kernels.set_backend(want_backend)
                 dtype = np.dtype(dtype_name)
@@ -231,6 +235,7 @@ def shard_worker_main(
                 n = state["n"]
                 begin, end = state["begin"], state["end"]
                 panel_x, panel_y = state["panel_x"], state["panel_y"]
+                step_begin = time.perf_counter()
                 if ncols == 0:
                     x = np.ndarray((n,), dtype=dtype, buffer=panel_x.buf)
                     y = np.ndarray((n,), dtype=dtype, buffer=panel_y.buf)
@@ -243,9 +248,30 @@ def shard_worker_main(
                         (n, ncols), dtype=dtype, buffer=panel_y.buf
                     )
                     kernels.spmm(stripe, x, out=y[begin:end])
+                step_end = time.perf_counter()
                 faults.fire_kill("kill_mid_sweep")
                 faults.fire_delay("delay_reply")
-                conn.send(("ok", seq, None))
+                # The reply detail carries the worker-side measurement
+                # (and, when the step was traced, a child span for the
+                # parent to adopt) back across the pipe — the only way
+                # a trace can see inside another process.
+                detail: dict = {"seconds": step_end - step_begin}
+                if trace is not None:
+                    trace_id, parent_span_id, attempt = trace
+                    from repro.obs import trace as obs_trace
+
+                    span = obs_trace.Span(
+                        "sweep_shard",
+                        trace_id,
+                        parent_id=parent_span_id,
+                        begin=step_begin,
+                        shard=shard,
+                        generation=generation,
+                        attempt=attempt,
+                    )
+                    span.end = step_end
+                    detail["spans"] = [span.to_dict()]
+                conn.send(("ok", seq, detail))
                 faults.fire_kill("kill_after_sweep")
             except Exception:  # noqa: BLE001 - forwarded to the router
                 conn.send(("err", seq, traceback.format_exc()))
@@ -343,12 +369,20 @@ class ShardWorker:
             )
 
     def send_step(
-        self, ncols: int, dtype: np.dtype, decay: float | None, backend: str
+        self,
+        ncols: int,
+        dtype: np.dtype,
+        decay: float | None,
+        backend: str,
+        trace: tuple[str, str, int] | None = None,
     ) -> None:
+        """Command one sweep step.  ``trace`` is the optional
+        ``(trace_id, parent_span_id, attempt)`` triple of a traced
+        request — the worker answers with a child span to adopt."""
         self._send(
             (
                 "step", self._next_seq(), ncols, np.dtype(dtype).name,
-                decay, backend,
+                decay, backend, trace,
             )
         )
 
@@ -370,9 +404,11 @@ class ShardWorker:
         self._send(("ping", self._next_seq()))
         self.wait_ok(timeout)
 
-    def wait_ok(self, timeout: float) -> None:
+    def wait_ok(self, timeout: float):
         """Await the reply to the last command sent, discarding stale
-        replies (answers to commands a recovery pass abandoned)."""
+        replies (answers to commands a recovery pass abandoned).
+        Returns the reply's detail payload (step timing + shipped
+        spans for step commands, the shard id for ping/remap)."""
         deadline = time.perf_counter() + timeout
         while True:
             remaining = max(deadline - time.perf_counter(), 0.0)
@@ -384,7 +420,7 @@ class ShardWorker:
                 raise WorkerFailure(
                     self.shard, "error", f"step failed:\n{detail}"
                 )
-            return
+            return detail
 
     def _receive(self, timeout: float):
         try:
