@@ -9,9 +9,14 @@ depth — and renders either Prometheus text or a JSON snapshot.
 through dispatch into the shard worker processes and back, producing a
 connected span tree per request even across a worker respawn.
 
+Both render live over HTTP: ``obs_port=`` (or ``REPRO_OBS_PORT``)
+attaches a stdlib-only exporter serving ``/metrics``, ``/health``,
+``/snapshot``, ``/traces`` and ``/profile``.
+
 This example serves a small batch through the sharded Router with
-tracing on, prints one request's span tree, the phase breakdown, and a
-slice of the Prometheus exposition.
+tracing on, self-scrapes the live endpoint, then prints one request's
+span tree, the phase breakdown, and a slice of the Prometheus
+exposition.
 
 Run with::
 
@@ -19,6 +24,9 @@ Run with::
 """
 
 from __future__ import annotations
+
+import json
+import urllib.request
 
 import numpy as np
 
@@ -33,13 +41,31 @@ def main() -> None:
     with Router(
         TPA(s_iteration=5, t_iteration=10), graph,
         num_shards=2, max_batch=8, max_wait_ms=1.0, cache_size=64,
+        obs_port=0,  # or REPRO_OBS_PORT in the environment
     ) as router:
         requests = [QueryRequest(seed=int(s), k=10) for s in range(24)]
         results = router.batch(requests)
         # A repeat of seed 0 exercises the shared score cache.
         router.query(0, k=10)
+
+        # The same state, scraped live over HTTP while we serve.
+        print(f"\nLive exporter on port {router.exporter.port}:")
+        with urllib.request.urlopen(router.exporter.url("/health")) as rsp:
+            health = json.loads(rsp.read())
+            print(f"  GET /health   -> {rsp.status} "
+                  f"ready={health['ready']} checks={sorted(health['checks'])}")
+        with urllib.request.urlopen(router.exporter.url("/metrics")) as rsp:
+            families = obs.parse_prometheus_text(rsp.read().decode())
+            print(f"  GET /metrics  -> {rsp.status}, "
+                  f"{len(families)} metric families")
+        with urllib.request.urlopen(router.exporter.url("/snapshot")) as rsp:
+            snap = json.loads(rsp.read())
+            print(f"  GET /snapshot -> {rsp.status}, "
+                  f"schema {snap['schema']}")
+
         stats = router.stats()
     assert all(r.top_nodes.size == 10 for r in results)
+    assert router.exporter is None  # close() released thread and port
 
     first_trace = obs.trace_ids()[0]
     print("\nOne request, end to end (worker spans shipped over the pipe"

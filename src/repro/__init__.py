@@ -87,8 +87,11 @@ Package map
 * :mod:`repro.tune` — hardware autotuning (measured ``TuneProfile``
   knobs cached per machine fingerprint) and core/NUMA pinning.
 * :mod:`repro.obs` — observability: process-global metrics registry
-  (counters/gauges/histograms, Prometheus text + JSON exposition) and
-  low-overhead cross-process request tracing (``REPRO_TRACE``).
+  (counters/gauges/histograms, Prometheus text + JSON exposition),
+  low-overhead cross-process request tracing (``REPRO_TRACE``), a live
+  HTTP exporter (``obs_port=`` / ``REPRO_OBS_PORT``), a cross-process
+  sampling profiler (``REPRO_PROFILE``), and structured logging of the
+  resilience layer's except-paths (``REPRO_LOG``).
 * :mod:`repro.resilience` — fault tolerance for the serving stack:
   worker supervision/respawn (``Supervisor``), bounded retries
   (``RetryPolicy``), request deadlines, deterministic fault injection

@@ -201,6 +201,18 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="dump the metrics registry after the run: "
                                 "Prometheus text, or a JSON snapshot when "
                                 "PATH ends in .json")
+        bench.add_argument("--profile", dest="profile_out", metavar="PATH",
+                           help="sample-profile the run (router and shard "
+                                "workers alike) and write the merged "
+                                "collapsed-stack profile to PATH — "
+                                "flamegraph.pl input, or a repro-profile/1 "
+                                "JSON snapshot when PATH ends in .json "
+                                "(inspect with 'repro obs profile PATH')")
+        bench.add_argument("--obs-port", dest="obs_port", type=int,
+                           default=None, metavar="PORT",
+                           help="serve /metrics, /health, /snapshot, "
+                                "/traces, /profile over HTTP for the "
+                                "run's duration (0 = ephemeral port)")
 
     bench = commands.add_parser(
         "serve-bench",
@@ -260,6 +272,15 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_trace_cmd.add_argument("path", help="trace dump file (JSON)")
     obs_trace_cmd.add_argument("--trace-id", default=None,
                                help="render only this trace")
+    obs_profile_cmd = obs_kinds.add_parser(
+        "profile",
+        help="summarize a sampling profile (--profile file: collapsed "
+             "stacks or repro-profile/1 JSON, or a bench report with a "
+             "profile section)",
+    )
+    obs_profile_cmd.add_argument("path", help="profile dump file")
+    obs_profile_cmd.add_argument("--top", type=int, default=20,
+                                 help="self-time rows to print")
 
     return parser
 
@@ -430,6 +451,9 @@ def _command_bench(args: argparse.Namespace) -> int:
     closed-loop load; renders the shared report.  Knob precedence is the
     deployments' own: explicit flag > tuned profile > static default —
     the header and JSON config echo the *resolved* values."""
+    import os
+
+    from repro.obs import profile as obs_profile
     from repro.obs import trace as obs_trace
     from repro.serving import Server, run_closed_loop
 
@@ -439,9 +463,12 @@ def _command_bench(args: argparse.Namespace) -> int:
         # inherited environment) into tracing before the deployment
         # exists, so the very first request is already traced.
         obs_trace.set_tracing(True)
-        import os
-
         os.environ.setdefault(obs_trace.TRACE_ENV_VAR, "1")
+    if args.profile_out:
+        # Same pattern for the profiler: the environment opt-in is what
+        # shard worker processes inherit and arm themselves from.
+        os.environ.setdefault(obs_profile.PROFILE_ENV_VAR, "1")
+        obs_profile.set_profiling(True)
     graph, source = _bench_graph(args)
     if kind == "update-bench":
         from repro.dynamic import DynamicGraph
@@ -466,6 +493,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         cache_size=args.cache,
         tune=profile,
         pin=args.pin,
+        obs_port=args.obs_port,
     )
     if kind == "shard-bench":
         from repro.sharding import Router
@@ -483,6 +511,8 @@ def _command_bench(args: argparse.Namespace) -> int:
 
     extra = None
     with deployment:
+        if deployment.exporter is not None:
+            print(f"# obs endpoint  {deployment.exporter.url('/metrics')}")
         stats = deployment.stats()
         max_batch = stats["max_batch"]
         max_wait_ms = stats["max_wait_ms"]
@@ -574,6 +604,22 @@ def _command_bench(args: argparse.Namespace) -> int:
             handle.write(payload)
         print(f"wrote {len(registry.families())} metric families "
               f"to {args.metrics_out}")
+    if args.profile_out:
+        import json
+
+        # Fold the local sampler's remaining epoch in; worker samples
+        # already arrived on the step replies.
+        obs_profile.stop()
+        snapshot = obs_profile.profile_snapshot()
+        if args.profile_out.endswith(".json"):
+            payload = json.dumps(snapshot, indent=2) + "\n"
+        else:
+            payload = obs_profile.collapsed()
+        with open(args.profile_out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {snapshot['samples']} profile samples "
+              f"from {len(snapshot['pids'])} process(es) "
+              f"to {args.profile_out}")
     return 0
 
 
@@ -674,6 +720,58 @@ def _command_obs(args: argparse.Namespace) -> int:
             )
             print(f"{sample_name}{rendered} {value:g}")
         print(f"# {len(families)} families, {len(rows)} samples")
+        return 0
+
+    if args.obs_command == "profile":
+        stacks: dict[str, float] = {}
+        if text.lstrip().startswith("{"):
+            document = json.loads(text)
+            # Accept a repro-profile/1 snapshot directly, or a bench
+            # report carrying one under its "profile" key.
+            section = (
+                document
+                if "stacks" in document
+                else document.get("profile", {})
+            )
+            stacks = {
+                str(stack): float(count)
+                for stack, count in (section.get("stacks") or {}).items()
+            }
+        else:
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                stack, _, count = line.rpartition(" ")
+                try:
+                    stacks[stack] = stacks.get(stack, 0.0) + float(count)
+                except ValueError:
+                    raise SystemExit(
+                        f"malformed collapsed-stack line: {line!r}"
+                    )
+        if not stacks:
+            print("# empty profile (was REPRO_PROFILE/--profile set?)")
+            return 0
+        total = sum(stacks.values())
+        pids = sorted(
+            {
+                stack.split(";", 1)[0][4:]
+                for stack in stacks
+                if stack.startswith("pid:")
+            }
+        )
+        self_time: dict[str, float] = {}
+        for stack, count in stacks.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            self_time[leaf] = self_time.get(leaf, 0.0) + count
+        ranked = sorted(
+            self_time.items(), key=lambda item: (-item[1], item[0])
+        )
+        print(f"{'samples':>9}  {'share':>6}  symbol (self time)")
+        for symbol, count in ranked[: args.top]:
+            print(f"{count:9g}  {count / total:6.1%}  {symbol}")
+        print(f"# {total:g} samples, {len(stacks)} stacks, "
+              f"{len(pids)} process(es): {', '.join(pids)}")
         return 0
 
     document = json.loads(text)

@@ -12,6 +12,7 @@ used to re-derive by hand (wall-time, preprocessed bytes, error bound).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -207,6 +208,13 @@ class Engine:
         unchanged.  Ignored on static graphs and for methods without
         warm-start support (TPA instead warm-restarts its
         re-preprocessing from the retained PageRank iterate).
+    obs_port:
+        Attach a live :class:`~repro.obs.ObsExporter` (``/metrics``,
+        ``/health``, ``/snapshot``, ``/traces``, ``/profile``) on this
+        port (``0`` = ephemeral); released by :meth:`close`.  Default
+        ``None`` consults ``REPRO_OBS_PORT`` and joins the shared
+        per-process listener when set.  A bare engine always reports
+        ready.
 
     Notes
     -----
@@ -241,6 +249,7 @@ class Engine:
         cache: "ScoreCache | None" = None,
         warm_start: bool = True,
         tune=None,
+        obs_port: int | None = None,
     ):
         self._tune = tune
         if tune is not None:
@@ -386,6 +395,22 @@ class Engine:
         # mid-flight), the counters, and the stats reads.  The cache has
         # its own lock so *shared* caches work across replicas.
         self._lock = threading.RLock()
+        # Operational surface (obs_port= / REPRO_OBS_PORT): a bare
+        # engine is always ready — it has no workers to lose — but its
+        # /metrics, /snapshot, /traces, and /profile are live.  Lazy
+        # import: repro.obs.exporter must not be a hard dependency of
+        # every Engine construction path.
+        self._obs_name = f"engine-{id(self):x}"
+        self._exporter = None
+        self._owns_exporter = False
+        if obs_port is not None or os.environ.get("REPRO_OBS_PORT"):
+            from repro.obs.exporter import start_exporter
+
+            self._exporter, self._owns_exporter = start_exporter(obs_port)
+            if self._exporter is not None:
+                self._exporter.add_check(
+                    self._obs_name, lambda: {"ready": True, "kind": "engine"}
+                )
 
     # -- introspection ---------------------------------------------------------
 
@@ -470,6 +495,28 @@ class Engine:
                 ),
             }
 
+    @property
+    def exporter(self):
+        """The attached :class:`~repro.obs.ObsExporter`, if any."""
+        return self._exporter
+
+    def close(self) -> None:
+        """Release the engine's operational surface (idempotent).
+
+        A bare engine holds no workers or shared memory — only the
+        observability endpoint needs tearing down: its health check is
+        removed from a shared (``REPRO_OBS_PORT``) listener, and an
+        owned (``obs_port=``) listener is shut down outright.
+        ``getattr``-guarded so pickled or hand-built instances from
+        before this attribute existed still close cleanly.
+        """
+        exporter = getattr(self, "_exporter", None)
+        self._exporter = None
+        if exporter is not None:
+            exporter.remove_check(self._obs_name)
+            if getattr(self, "_owns_exporter", False):
+                exporter.close()
+
     def replicate(self) -> "Engine":
         """A serving replica of this engine for one more worker thread.
 
@@ -499,6 +546,11 @@ class Engine:
         clone._online_seconds = 0.0
         clone._workspace = kernels.Workspace()
         clone._lock = threading.RLock()
+        # Replicas never inherit the exporter: one deployment, one
+        # endpoint (the env singleton already covers every replica).
+        clone._obs_name = f"engine-{id(clone):x}"
+        clone._exporter = None
+        clone._owns_exporter = False
         return clone
 
     def shard(

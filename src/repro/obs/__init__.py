@@ -1,6 +1,6 @@
-"""Unified observability: metrics registry + cross-process tracing.
+"""Unified observability: metrics, tracing, exporter, profiler, logs.
 
-Two pillars, both dependency-free:
+Five pillars, all dependency-free:
 
 - :mod:`repro.obs.metrics` — thread-safe Counter/Gauge/Histogram
   families behind a process-global :class:`Registry`, exported as
@@ -10,8 +10,24 @@ Two pillars, both dependency-free:
   through scheduler, dispatch, shard-worker sweeps (across the pipe),
   gather, and top-k, gated by ``REPRO_TRACE`` (default off) with
   ``REPRO_TRACE_SAMPLE`` sampling.
+- :mod:`repro.obs.exporter` — a stdlib HTTP endpoint
+  (``obs_port=`` / ``REPRO_OBS_PORT``) serving ``/metrics``,
+  ``/health`` (readiness-aware 200/503), ``/snapshot``, ``/traces``,
+  and ``/profile`` for any live deployment.
+- :mod:`repro.obs.profile` — a ``REPRO_PROFILE``-gated sampling
+  profiler that runs in the serving process *and* every shard worker,
+  merged into one collapsed-stack (flamegraph) profile.
+- :mod:`repro.obs.logs` — ``REPRO_LOG``-gated structured (JSON-lines
+  or text) logging for the stack's formerly silent recovery paths.
 """
 
+from repro.obs.exporter import (
+    EXPORTER_THREAD_NAME,
+    OBS_PORT_ENV_VAR,
+    ObsExporter,
+    start_exporter,
+)
+from repro.obs.logs import LOG_ENV_VAR, get_logger, logging_setup
 from repro.obs.metrics import (
     METRICS_ENV_VAR,
     METRICS_SCHEMA,
@@ -24,6 +40,16 @@ from repro.obs.metrics import (
     metrics_enabled,
     parse_prometheus_text,
     set_metrics_enabled,
+)
+from repro.obs.profile import (
+    PROFILE_ENV_VAR,
+    PROFILE_HZ_ENV_VAR,
+    PROFILE_SCHEMA,
+    collapsed as collapsed_profile,
+    profile_snapshot,
+    profiling_enabled,
+    set_profile_hz,
+    set_profiling,
 )
 from repro.obs.trace import (
     TRACE_ENV_VAR,
@@ -52,36 +78,51 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "EXPORTER_THREAD_NAME",
+    "LOG_ENV_VAR",
     "METRICS_ENV_VAR",
     "METRICS_SCHEMA",
+    "OBS_PORT_ENV_VAR",
+    "PROFILE_ENV_VAR",
+    "PROFILE_HZ_ENV_VAR",
+    "PROFILE_SCHEMA",
     "TRACE_ENV_VAR",
     "TRACE_SAMPLE_ENV_VAR",
     "TRACE_SCHEMA",
     "Counter",
     "Gauge",
     "Histogram",
+    "ObsExporter",
     "Registry",
     "Span",
     "add_phase",
     "clear_spans",
+    "collapsed_profile",
     "collect_phases",
     "current_context",
     "default_buckets",
     "drain_spans",
     "dump_traces",
     "format_trace",
+    "get_logger",
     "get_registry",
     "ingest_spans",
+    "logging_setup",
     "metrics_enabled",
     "new_trace_id",
     "parse_prometheus_text",
     "phase",
+    "profile_snapshot",
+    "profiling_enabled",
     "set_metrics_enabled",
+    "set_profile_hz",
+    "set_profiling",
     "set_trace_sample",
     "set_tracing",
     "span",
     "span_tree",
     "spans",
+    "start_exporter",
     "start_span",
     "trace_ids",
     "tracing_enabled",

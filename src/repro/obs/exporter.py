@@ -1,0 +1,286 @@
+"""Live HTTP operational endpoint for a running deployment.
+
+PR 9's registry and trace buffer are only reachable from inside the
+process.  This module puts them on the wire: an :class:`ObsExporter` is
+a stdlib-only (:mod:`http.server`) background listener serving
+
+* ``GET /metrics``  — the registry's Prometheus text exposition
+  (strictly round-trippable through
+  :func:`repro.obs.parse_prometheus_text`);
+* ``GET /health``   — liveness plus *readiness* derived from the
+  deployment's registered health checks (dead shard workers, scheduler
+  backpressure), with proper ``200``/``503`` status codes;
+* ``GET /snapshot`` — the ``repro-metrics/1`` JSON snapshot;
+* ``GET /traces``   — the retained span ring buffer as a
+  ``repro-trace/1`` document;
+* ``GET /profile``  — the ``repro-profile/1`` snapshot of the sampling
+  profiler (empty when profiling is off).
+
+Deployments attach one via ``obs_port=`` (``0`` picks an ephemeral
+port — tests read :attr:`ObsExporter.port`) or the ``REPRO_OBS_PORT``
+environment variable.  The env path is a **process-global singleton**:
+however many Servers/Routers/Engines a process builds, one listener
+answers for all of them — each registers its own health check and
+removes it on close, so the endpoint always reflects the live set.  An
+explicitly requested exporter (``obs_port=``) is owned by its
+deployment, whose ``close()`` shuts it down with the same guarantee the
+shared-memory layer gives ``/dev/shm``: no dangling listener thread, no
+bound port left behind.
+
+Scrapes are read-only and answered from the serving threads of a
+:class:`~http.server.ThreadingHTTPServer`; they never touch the
+dispatch path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import trace as obs_trace
+from repro.obs.logs import get_logger
+
+__all__ = [
+    "OBS_PORT_ENV_VAR",
+    "EXPORTER_THREAD_NAME",
+    "ObsExporter",
+    "env_obs_port",
+    "start_exporter",
+]
+
+OBS_PORT_ENV_VAR = "REPRO_OBS_PORT"
+
+#: Name of every exporter thread (the acceptor and, transiently, the
+#: per-request handler threads) — leak checks grep live threads for it.
+EXPORTER_THREAD_NAME = "repro-obs-exporter"
+
+_log = get_logger("obs.exporter")
+
+
+def env_obs_port() -> int | None:
+    """``REPRO_OBS_PORT`` as an int, or ``None`` when unset/invalid."""
+    raw = os.environ.get(OBS_PORT_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw.strip())
+    except ValueError:
+        _log.warning("ignoring invalid %s=%r", OBS_PORT_ENV_VAR, raw)
+        return None
+
+
+class ObsExporter:
+    """Background HTTP listener over the process-global observability
+    state.
+
+    ``port=0`` binds an ephemeral port; the actual one is on
+    :attr:`port`.  Health *checks* (callables returning a dict with a
+    ``"ready"`` bool plus free-form detail) decide ``/health``'s status
+    code; *collectors* (no-arg callables) run before every ``/metrics``
+    and ``/snapshot`` render so scrape-time gauges — per-shard
+    generations, workers-alive — are fresh without a background poller.
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1"):
+        self._checks: dict[str, object] = {}
+        self._collectors: dict[str, object] = {}
+        self._hook_lock = threading.Lock()
+        self._closed = False
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                exporter._respond(self)
+
+            def log_message(self, fmt: str, *args) -> None:
+                _log.debug("scrape %s", fmt % args)
+
+        self._server = ThreadingHTTPServer((host, int(port)), _Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=EXPORTER_THREAD_NAME,
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- wiring ------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved, even when constructed with 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def add_check(self, name: str, check) -> None:
+        """Register a readiness check (dict with a ``"ready"`` bool)."""
+        with self._hook_lock:
+            self._checks[name] = check
+
+    def remove_check(self, name: str) -> None:
+        with self._hook_lock:
+            self._checks.pop(name, None)
+
+    def add_collector(self, name: str, collector) -> None:
+        """Register a pre-scrape refresh hook for ``/metrics``/``/snapshot``."""
+        with self._hook_lock:
+            self._collectors[name] = collector
+
+    def remove_collector(self, name: str) -> None:
+        with self._hook_lock:
+            self._collectors.pop(name, None)
+
+    # -- rendering ---------------------------------------------------------
+
+    def _collect(self) -> None:
+        with self._hook_lock:
+            collectors = list(self._collectors.values())
+        for collector in collectors:
+            try:
+                collector()
+            except Exception:  # noqa: BLE001 - a scrape must never 500
+                _log.warning("metrics collector failed", exc_info=True)
+
+    def health(self) -> tuple[bool, dict]:
+        """Aggregate readiness: every registered check must say ready.
+
+        A check that *raises* counts as not ready — a deployment too
+        broken to introspect should fail its probe, not pass it.
+        """
+        with self._hook_lock:
+            checks = list(self._checks.items())
+        ready = True
+        detail: dict = {}
+        for name, check in checks:
+            try:
+                result = check()
+            except Exception as error:  # noqa: BLE001 - fold into 503
+                result = {"ready": False, "error": repr(error)}
+            if not isinstance(result, dict):
+                result = {"ready": bool(result)}
+            detail[name] = result
+            ready = ready and bool(result.get("ready", True))
+        return ready, {
+            "status": "ok" if ready else "unavailable",
+            "alive": True,
+            "ready": ready,
+            "pid": os.getpid(),
+            "checks": detail,
+        }
+
+    def _respond(self, handler: BaseHTTPRequestHandler) -> None:
+        path = handler.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._collect()
+                body = obs_metrics.get_registry().expose().encode()
+                status, ctype = 200, "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/health":
+                ready, document = self.health()
+                body = json.dumps(document, indent=2).encode()
+                status, ctype = (200 if ready else 503), "application/json"
+            elif path == "/snapshot":
+                self._collect()
+                body = obs_metrics.snapshot_json(indent=2).encode()
+                status, ctype = 200, "application/json"
+            elif path == "/traces":
+                body = json.dumps(obs_trace.dump_traces(), indent=2).encode()
+                status, ctype = 200, "application/json"
+            elif path == "/profile":
+                body = json.dumps(
+                    obs_profile.profile_snapshot(), indent=2
+                ).encode()
+                status, ctype = 200, "application/json"
+            else:
+                body = json.dumps(
+                    {
+                        "error": f"unknown path {path!r}",
+                        "paths": ["/metrics", "/health", "/snapshot",
+                                  "/traces", "/profile"],
+                    }
+                ).encode()
+                status, ctype = 404, "application/json"
+            handler.send_response(status)
+            handler.send_header("Content-Type", ctype)
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the scraper hung up mid-reply; nothing to salvage
+        except Exception:  # noqa: BLE001 - keep the listener alive
+            _log.warning("scrape of %s failed", path, exc_info=True)
+            try:
+                handler.send_error(500)
+            except OSError:
+                pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop serving, join the acceptor thread, release the port.
+
+        Idempotent.  After this returns no thread named
+        :data:`EXPORTER_THREAD_NAME` remains and a fresh connect to the
+        old port is refused — the same leave-nothing-behind contract the
+        shared-memory store gives ``/dev/shm``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+
+    def __enter__(self) -> "ObsExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ObsExporter(http://{self.host}:{self.port}, "
+            f"closed={self._closed})"
+        )
+
+
+_env_lock = threading.Lock()
+_env_exporter: ObsExporter | None = None
+
+
+def start_exporter(port: int | None = None) -> tuple[ObsExporter | None, bool]:
+    """Resolve a deployment's exporter: ``(exporter, owned)``.
+
+    An explicit ``port`` always binds a fresh listener the caller owns
+    (and must close).  ``port=None`` consults ``REPRO_OBS_PORT``:
+    unset means ``(None, False)`` — no exporter; set means the shared
+    per-process singleton, which nobody owns (it lives for the process,
+    and deployments only add/remove their health checks on it).
+    """
+    if port is not None:
+        return ObsExporter(port), True
+    resolved = env_obs_port()
+    if resolved is None:
+        return None, False
+    global _env_exporter
+    with _env_lock:
+        if _env_exporter is None or _env_exporter.closed:
+            _env_exporter = ObsExporter(resolved)
+        return _env_exporter, False

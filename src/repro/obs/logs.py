@@ -1,0 +1,170 @@
+"""Structured logging for the serving stack (``REPRO_LOG``).
+
+The resilience layer deliberately swallows exceptions — a supervisor
+probe that throws must not kill supervision, a reaper that loses a race
+must not fail a build.  Before this module those paths were *silent*;
+now they route through one logger tree rooted at ``repro`` whose
+output format is an operator's choice:
+
+* ``REPRO_LOG=json`` — one JSON object per line (``ts``, ``level``,
+  ``component``, ``pid``, ``shard``, ``trace_id`` from the ambient
+  tracing contextvar, ``message``, optional ``exc``) — machine-
+  ingestable next to the ``repro-metrics/1``/``repro-trace/1`` dumps;
+* ``REPRO_LOG=text`` — a conventional human line;
+* unset / ``REPRO_LOG=0`` — **silent**, exactly the pre-existing
+  behaviour: a ``NullHandler`` with propagation off, so not even
+  Python's last-resort handler prints (the chaos suite *intentionally*
+  kills workers; its expected probe failures must not flood stderr).
+
+Call :func:`logging_setup` to (re)install the handler — it re-reads
+the environment on every call and is idempotent when nothing changed —
+or just :func:`get_logger`, which sets up lazily.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+from datetime import datetime, timezone
+
+__all__ = ["LOG_ENV_VAR", "get_logger", "logging_setup"]
+
+LOG_ENV_VAR = "REPRO_LOG"
+
+_ROOT = "repro"
+_FALSY = {"", "0", "false", "off", "no"}
+_MODES = ("json", "text")
+
+_setup_lock = threading.RLock()
+_installed_mode: str | None = None
+_configured = False
+_explicit = False
+
+
+def _env_mode() -> str | None:
+    raw = os.environ.get(LOG_ENV_VAR)
+    if raw is None:
+        return None
+    raw = raw.strip().lower()
+    if raw in _FALSY:
+        return None
+    return raw if raw in _MODES else "text"
+
+
+def _ambient() -> tuple[str | None, str | None]:
+    """(shard annotation, trace id) — both best-effort: the formatter
+    must never raise, and must work before the rest of repro imports."""
+    shard = trace_id = None
+    try:
+        from repro import kernels
+
+        shard = kernels.shard_annotation()
+    except Exception:  # noqa: BLE001 - partial interpreter states
+        pass
+    try:
+        from repro.obs import trace as obs_trace
+
+        trace_id = obs_trace.current_context()[0]
+    except Exception:  # noqa: BLE001
+        pass
+    return shard, trace_id
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        shard, trace_id = _ambient()
+        document = {
+            "ts": datetime.now(timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": record.levelname,
+            "component": (
+                record.name[len(_ROOT) + 1 :]
+                if record.name.startswith(_ROOT + ".")
+                else record.name
+            ),
+            "pid": record.process,
+            "shard": shard,
+            "trace_id": trace_id,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            document["exc"] = self.formatException(record.exc_info)
+        return json.dumps(document)
+
+
+class _TextFormatter(logging.Formatter):
+    def __init__(self) -> None:
+        super().__init__(
+            "%(asctime)s %(levelname)s %(name)s [pid %(process)d] "
+            "%(message)s"
+        )
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        shard, trace_id = _ambient()
+        suffix = []
+        if shard is not None:
+            suffix.append(f"shard={shard}")
+        if trace_id is not None:
+            suffix.append(f"trace={trace_id}")
+        return f"{line} [{' '.join(suffix)}]" if suffix else line
+
+
+def logging_setup(
+    mode: str | None = None, *, stream=None, force: bool = False
+) -> logging.Logger:
+    """Install (or refresh) the ``repro`` log handler; returns the root
+    ``repro`` logger.
+
+    ``mode=None`` follows ``REPRO_LOG``; ``"json"``/``"text"`` force a
+    format, anything falsy forces silence.  Re-reads the environment on
+    every call, so flipping ``REPRO_LOG`` takes effect at the next
+    setup — but an *explicit* ``mode`` argument sticks: the lazy
+    env-resolved setup :func:`get_logger` performs must never clobber a
+    format the application configured on purpose.  ``force=True``
+    reinstalls even when nothing changed (tests swapping the
+    ``stream``) and, with ``mode=None``, returns control to the
+    environment.
+    """
+    global _configured, _installed_mode, _explicit
+    resolved = _env_mode() if mode is None else (
+        mode if mode in _MODES else None
+    )
+    with _setup_lock:
+        logger = logging.getLogger(_ROOT)
+        if _configured and not force and (
+            _explicit and mode is None or resolved == _installed_mode
+        ):
+            return logger
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_obs", False):
+                logger.removeHandler(handler)
+        handler: logging.Handler
+        if resolved is None:
+            handler = logging.NullHandler()
+        else:
+            handler = logging.StreamHandler(stream or sys.stderr)
+            handler.setFormatter(
+                _JsonFormatter() if resolved == "json" else _TextFormatter()
+            )
+        handler._repro_obs = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+        # Propagation stays off either way: silent means *silent* (no
+        # last-resort fallback), and enabled output must not duplicate
+        # into a root handler the application may have installed.
+        logger.propagate = False
+        logger.setLevel(logging.INFO if resolved else logging.WARNING)
+        _configured, _installed_mode = True, resolved
+        _explicit = mode is not None
+        return logger
+
+
+def get_logger(component: str) -> logging.Logger:
+    """The ``repro.<component>`` logger, installing the configured
+    handler on first use."""
+    logging_setup()
+    return logging.getLogger(f"{_ROOT}.{component}")

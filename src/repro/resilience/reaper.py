@@ -19,6 +19,10 @@ import os
 import re
 import secrets
 
+from repro.obs.logs import get_logger
+
+_log = get_logger("resilience.reaper")
+
 __all__ = [
     "SEGMENT_PREFIX",
     "SHM_DIR",
@@ -73,7 +77,8 @@ def reap_orphan_segments(directory: str = SHM_DIR) -> list[str]:
     """
     try:
         entries = os.listdir(directory)
-    except OSError:
+    except OSError as error:
+        _log.debug("cannot scan %s: %s", directory, error)
         return []
     reaped: list[str] = []
     for name in entries:
@@ -82,7 +87,13 @@ def reap_orphan_segments(directory: str = SHM_DIR) -> list[str]:
             continue
         try:
             os.unlink(os.path.join(directory, name))
-        except OSError:  # pragma: no cover - lost the race; fine
+        except OSError as error:  # pragma: no cover - lost the race; fine
+            _log.debug("lost reap race for %s: %s", name, error)
             continue
         reaped.append(name)
+    if reaped:
+        _log.info(
+            "reaped %d orphaned segment(s): %s",
+            len(reaped), ", ".join(sorted(reaped)),
+        )
     return reaped

@@ -29,6 +29,9 @@ import os
 import threading
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
+
+_log = get_logger("supervisor")
 
 __all__ = [
     "DEFAULT_HEARTBEAT_MS",
@@ -142,6 +145,10 @@ class Supervisor:
             try:
                 unhealthy = list(self._probe())
             except Exception:  # noqa: BLE001 - next beat retries
+                _log.warning(
+                    "health probe failed; retrying next beat",
+                    exc_info=True,
+                )
                 continue
             with self._lock:
                 self._probes += 1
@@ -157,10 +164,15 @@ class Supervisor:
                 except Exception:  # noqa: BLE001 - keep supervising
                     with self._lock:
                         self._repair_failures += 1
+                    _log.warning(
+                        "repair of worker %r failed; next beat retries",
+                        identity, exc_info=True,
+                    )
                 else:
                     with self._lock:
                         self._repairs += 1
                     repairs.inc()
+                    _log.info("repaired worker %r", identity)
 
     def stats(self) -> dict:
         """Lifetime counters of the supervision loop."""

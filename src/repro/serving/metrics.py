@@ -129,6 +129,12 @@ def bench_report(report, *, kind: str, config: dict) -> dict:
     # family (cache hits, sweep timings, supervisor activity, ...) that
     # the flat fields above don't individually lift.
     document["metrics"] = obs_metrics.get_registry().snapshot()
+    # When the run was profiled, the merged cross-process profile rides
+    # along too ('repro obs profile report.json' reads it back out).
+    from repro.obs import profile as obs_profile
+
+    if obs_profile.profiling_enabled():
+        document["profile"] = obs_profile.profile_snapshot()
     return document
 
 

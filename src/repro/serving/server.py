@@ -43,7 +43,10 @@ from repro.engine import Engine, QueryRequest, QueryResult
 from repro.exceptions import DeadlineExceeded, ParameterError
 from repro.graph.graph import Graph
 from repro.method import PPRMethod
+from repro.obs import profile as obs_profile
 from repro.obs import trace as obs_trace
+from repro.obs.exporter import ObsExporter, start_exporter
+from repro.obs.logs import get_logger
 from repro.resilience import faults
 from repro.resilience.retry import RetryPolicy, call_with_retry
 from repro.resilience.supervisor import Supervisor
@@ -52,6 +55,8 @@ from repro.serving.metrics import LatencyStats, front_stats
 from repro.serving.scheduler import PendingRequest, Scheduler
 
 __all__ = ["Server", "dispatch_batch", "resolve_future"]
+
+_log = get_logger("serving")
 
 
 def resolve_future(future: "Future", result=None, error=None) -> None:
@@ -170,6 +175,9 @@ def dispatch_batch(
                 )
     except BaseException as error:  # noqa: BLE001 - forwarded to clients
         metrics.count("failures", len(live))
+        _log.warning(
+            "batch of %d failed: %s", len(live), error, exc_info=True
+        )
         if dispatch_span is not None:
             dispatch_span.finish(outcome="error")
         for pending in live:
@@ -256,6 +264,14 @@ class Server:
         sharded engine).  Default ``None``: batch failures propagate to
         clients on the first occurrence, matching pre-resilience
         behaviour.
+    obs_port:
+        Attach a live :class:`~repro.obs.ObsExporter` (``/metrics``,
+        ``/health``, ``/snapshot``, ``/traces``, ``/profile``) on this
+        port (``0`` = ephemeral; read :attr:`exporter`).  Owned by the
+        server and shut down by :meth:`close`.  Default ``None``
+        consults ``REPRO_OBS_PORT`` and, when set, joins the shared
+        per-process listener.  ``/health`` answers 503 while any worker
+        thread is down or the scheduler is saturated.
 
     Examples
     --------
@@ -285,6 +301,7 @@ class Server:
         supervise: bool = True,
         heartbeat_ms: float | None = None,
         retry: RetryPolicy | None = None,
+        obs_port: int | None = None,
     ):
         # Precedence: explicit argument > tuned profile > static default.
         if workers is None:
@@ -354,6 +371,13 @@ class Server:
                 name="repro-serve-supervisor",
                 interval_ms=heartbeat_ms,
             )
+        # Operational surface: sampler (REPRO_PROFILE-gated no-op when
+        # off) and HTTP exporter (obs_port= / REPRO_OBS_PORT).
+        obs_profile.arm()
+        self._obs_name = f"server-{id(self):x}"
+        self._exporter, self._owns_exporter = start_exporter(obs_port)
+        if self._exporter is not None:
+            self._exporter.add_check(self._obs_name, self._health_check)
 
     def _make_thread(self, index: int) -> threading.Thread:
         return threading.Thread(
@@ -426,6 +450,30 @@ class Server:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def exporter(self) -> ObsExporter | None:
+        """The attached observability endpoint, if any."""
+        return self._exporter
+
+    def _health_check(self) -> dict:
+        """Readiness for ``/health``: every worker thread alive and the
+        scheduler not saturated.  Runs on exporter scrape threads; reads
+        only cheap state."""
+        if self._closed:
+            return {"ready": False, "reason": "closed"}
+        alive = sum(1 for thread in self._threads if thread.is_alive())
+        pending = self._scheduler.pending
+        max_pending = self._scheduler.max_pending
+        saturated = bool(max_pending) and pending >= max_pending
+        return {
+            "ready": alive == len(self._threads) and not saturated,
+            "workers_alive": alive,
+            "workers": len(self._threads),
+            "pending": pending,
+            "max_pending": max_pending,
+            "backpressure": saturated,
+        }
 
     def stats(self) -> dict:
         """One merged view: latency snapshot, queue depth, worker count,
@@ -543,6 +591,11 @@ class Server:
         self._scheduler.close()
         for thread in self._threads:
             thread.join(timeout)
+        exporter, self._exporter = self._exporter, None
+        if exporter is not None:
+            exporter.remove_check(self._obs_name)
+            if self._owns_exporter:
+                exporter.close()
 
     def __enter__(self) -> "Server":
         return self

@@ -56,6 +56,7 @@ class ShardedEngine(Engine):
     def close(self) -> None:
         """Stop the shard workers and release shared memory (idempotent)."""
         self._shards.close()
+        Engine.close(self)
 
     @property
     def closed(self) -> bool:
@@ -151,6 +152,9 @@ def shard_engine(
         clone._online_seconds = 0.0
         clone._workspace = kernels.Workspace()
         clone._lock = threading.RLock()
+        clone._obs_name = f"engine-{id(clone):x}"
+        clone._exporter = None
+        clone._owns_exporter = False
         clone._shards = operator
         return clone
     except BaseException:  # pragma: no cover - construction safety

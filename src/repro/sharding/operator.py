@@ -39,6 +39,7 @@ import numpy as np
 from repro import kernels
 from repro.exceptions import ParameterError, WorkerFailure
 from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.obs import trace as obs_trace
 from repro.resilience.reaper import reap_orphan_segments
 from repro.resilience.supervisor import (
@@ -68,6 +69,31 @@ class _SweepFailed(Exception):
     def __init__(self, failures: list[WorkerFailure]):
         self.failures = failures
         super().__init__(f"{len(failures)} worker(s) failed")
+
+
+def _fold_worker_counters(deltas: dict, shard: int) -> None:
+    """Fold counter increments a worker shipped on a step reply into
+    the router-side registry, adding a ``shard`` label.
+
+    Exporter and CLI then show shard-worker truth — counters earned in
+    a child process are invisible otherwise (each process has its own
+    registry).  Best-effort: a family name that already exists here
+    with different labels must degrade to a dropped delta, never a
+    failed sweep.
+    """
+    registry = obs_metrics.get_registry()
+    for name, rows in deltas.items():
+        for row in rows:
+            try:
+                labelnames, labelvalues, delta, help_text = row
+                labels = dict(zip(labelnames, labelvalues))
+                labels.setdefault("shard", str(shard))
+                family = registry.counter(
+                    name, help_text, tuple(labels)
+                )
+                family.labels(**labels).inc(float(delta))
+            except Exception:  # noqa: BLE001 - observability, not serving
+                continue
 
 
 def _default_start_method() -> str:
@@ -560,6 +586,12 @@ class ShardedOperator:
                     if detail.get("spans"):
                         obs_trace.ingest_spans(
                             detail["spans"], rebase_end=arrived_at
+                        )
+                    if detail.get("profile"):
+                        obs_profile.ingest(detail["profile"])
+                    if detail.get("counters"):
+                        _fold_worker_counters(
+                            detail["counters"], worker.shard
                         )
         if failures:
             raise _SweepFailed(failures)

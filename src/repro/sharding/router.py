@@ -34,6 +34,9 @@ from repro.exceptions import ParameterError
 from repro.graph.partition import partition_graph, partition_order
 from repro.kernels.reorder import LocalityReordering
 from repro.method import PPRMethod
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs.exporter import ObsExporter, start_exporter
 from repro.resilience.retry import RetryPolicy
 from repro.serving.cache import ScoreCache
 from repro.serving.metrics import LatencyStats, front_stats
@@ -134,6 +137,14 @@ class Router:
         not absorb).  Default: a stock policy — a sharded deployment
         should survive worker loss without clients noticing.  Pass
         ``None`` to fail batches on first error.
+    obs_port:
+        Attach a live :class:`~repro.obs.ObsExporter` (``/metrics``,
+        ``/health``, ``/snapshot``, ``/traces``, ``/profile``) on this
+        port (``0`` = ephemeral; read :attr:`exporter`).  Owned by the
+        router and shut down by :meth:`close`.  Default ``None``
+        consults ``REPRO_OBS_PORT`` and, when set, joins the shared
+        per-process listener instead.  ``/health`` answers 503 while
+        any shard worker is down or the scheduler is saturated.
 
     Examples
     --------
@@ -168,6 +179,7 @@ class Router:
         supervise: bool = True,
         heartbeat_ms: float | None = None,
         retry: RetryPolicy | None = RetryPolicy(),
+        obs_port: int | None = None,
     ):
         # Precedence: explicit argument > tuned profile > static default.
         if num_shards is None:
@@ -239,6 +251,16 @@ class Router:
             target=self._dispatch_loop, name="repro-shard-router", daemon=True
         )
         self._thread.start()
+        # Operational surface: sampler (REPRO_PROFILE-gated no-op when
+        # off) and HTTP exporter (obs_port= / REPRO_OBS_PORT).
+        obs_profile.arm()
+        self._obs_name = f"router-{id(self):x}"
+        self._exporter, self._owns_exporter = start_exporter(obs_port)
+        if self._exporter is not None:
+            self._exporter.add_check(self._obs_name, self._health_check)
+            self._exporter.add_collector(
+                self._obs_name, self._refresh_shard_metrics
+            )
 
     # -- introspection ---------------------------------------------------------
 
@@ -263,6 +285,50 @@ class Router:
     @property
     def metrics(self) -> LatencyStats:
         return self._metrics
+
+    @property
+    def exporter(self) -> ObsExporter | None:
+        """The attached observability endpoint, if any."""
+        return self._exporter
+
+    def _health_check(self) -> dict:
+        """Readiness for ``/health``: every shard worker alive and the
+        scheduler not saturated.  Runs on exporter scrape threads, so it
+        only reads cheap state — no locks, no pipes."""
+        if self._closed:
+            return {"ready": False, "reason": "closed"}
+        shards = self._engine.shards
+        workers_alive = sum(1 for w in shards.workers() if w.alive)
+        pending = self._scheduler.pending
+        max_pending = self._scheduler.max_pending
+        saturated = bool(max_pending) and pending >= max_pending
+        return {
+            "ready": workers_alive == shards.num_shards and not saturated,
+            "workers_alive": workers_alive,
+            "num_shards": shards.num_shards,
+            "pending": pending,
+            "max_pending": max_pending,
+            "backpressure": saturated,
+        }
+
+    def _refresh_shard_metrics(self) -> None:
+        """Pre-scrape collector: per-shard respawn generations and the
+        alive-worker count as gauges, fresh at render time."""
+        if self._closed:
+            return
+        registry = obs_metrics.get_registry()
+        stats = self._engine.shards.shard_stats()
+        generation = registry.gauge(
+            "repro_shard_generation",
+            "Respawn generation of each shard's worker (0 = original).",
+            labelnames=("shard",),
+        )
+        for shard, value in enumerate(stats.get("generations") or ()):
+            generation.labels(shard=shard).set(float(value))
+        registry.gauge(
+            "repro_shard_workers_alive",
+            "Shard worker processes currently alive.",
+        ).set(float(stats.get("workers_alive", 0)))
 
     @property
     def pending(self) -> int:
@@ -369,6 +435,12 @@ class Router:
         self._scheduler.close()
         self._thread.join(timeout)
         self._engine.close()
+        exporter, self._exporter = self._exporter, None
+        if exporter is not None:
+            exporter.remove_check(self._obs_name)
+            exporter.remove_collector(self._obs_name)
+            if self._owns_exporter:
+                exporter.close()
 
     def __enter__(self) -> "Router":
         return self

@@ -48,14 +48,42 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import WorkerFailure
+from repro.obs.logs import get_logger
 from repro.sharding.store import StripeSpec, attach_segment
 
 __all__ = ["ShardWorker", "shard_worker_main"]
+
+_log = get_logger("sharding.worker")
 
 #: Default seconds the parent waits for one step reply before declaring
 #: the worker hung.  Generous: a cold Numba worker may JIT-compile its
 #: kernels inside the first step.
 DEFAULT_STEP_TIMEOUT = 300.0
+
+
+def _counter_deltas(registry, shipped: dict) -> dict:
+    """Counter increments earned since the last call.
+
+    ``shipped`` caches the last-shipped value per ``(family, labelnames,
+    labelvalues)``; seeding it once right after fork means values the
+    child *inherited* from the parent's registry never ship.  The format
+    is pipe-friendly: ``{name: [[labelnames, labelvalues, delta, help]]}``.
+    """
+    deltas: dict = {}
+    for name, family in registry.families().items():
+        if family.kind != "counter":
+            continue
+        labelnames = family.labelnames
+        for key, child in family.children().items():
+            token = (name, labelnames, key)
+            value = float(child.value)
+            delta = value - shipped.get(token, 0.0)
+            if delta > 0:
+                shipped[token] = value
+                deltas.setdefault(name, []).append(
+                    [list(labelnames), list(key), delta, family.help]
+                )
+    return deltas
 
 
 def _spec_payload(spec: StripeSpec) -> dict:
@@ -94,12 +122,17 @@ def shard_worker_main(
     incarnation.
     """
     from repro import kernels
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import profile as obs_profile
     from repro.resilience import faults
 
     # A forked child inherits the parent's resolved fault plan and its
     # visit counters — both wrong here.  Re-resolve from the environment
-    # with fresh counters, under this worker's scope.
+    # with fresh counters, under this worker's scope.  Same hygiene for
+    # the profiler: the inherited sampler object has no live thread and
+    # the inherited samples are the parent's, not ours.
     faults.reset_fault_plan()
+    obs_profile.reset_after_fork()
 
     # Mutable binding state: the "remap" command (a partial republish
     # after a dynamic-graph compaction) swaps the worker onto a new
@@ -175,6 +208,24 @@ def shard_worker_main(
         kernels.set_shard_annotation(f"{shard}/{num_shards}")
         faults.set_scope(f"shard{shard}", generation)
         kernels.set_backend(backend)
+        # Armed like REPRO_FAULTS: re-read from the (inherited)
+        # environment, sampler started in *this* process.
+        obs_profile.arm()
+        registry = obs_metrics.get_registry()
+        steps_total = registry.counter(
+            "repro_worker_steps_total",
+            help_text="Sweep steps completed inside shard worker processes",
+            labelnames=("shard",),
+        ).labels(shard=shard)
+        step_seconds_total = registry.counter(
+            "repro_worker_step_seconds_total",
+            help_text="Cumulative in-worker sweep seconds",
+            labelnames=("shard",),
+        ).labels(shard=shard)
+        # Baseline the shipping cache on whatever counter values the
+        # fork carried over, so only this process's increments ship.
+        shipped: dict = {}
+        _counter_deltas(registry, shipped)
         if pin_cpus:
             from repro.tune.pinning import pin_current
 
@@ -249,13 +300,26 @@ def shard_worker_main(
                     )
                     kernels.spmm(stripe, x, out=y[begin:end])
                 step_end = time.perf_counter()
+                steps_total.inc()
+                step_seconds_total.inc(step_end - step_begin)
                 faults.fire_kill("kill_mid_sweep")
                 faults.fire_delay("delay_reply")
                 # The reply detail carries the worker-side measurement
                 # (and, when the step was traced, a child span for the
                 # parent to adopt) back across the pipe — the only way
-                # a trace can see inside another process.
+                # a trace can see inside another process.  Profiler
+                # samples and counter increments ride the same reply:
+                # no second channel, and the parent's merged view
+                # converges on worker truth one step behind at worst.
                 detail: dict = {"seconds": step_end - step_begin}
+                if obs_profile.running():
+                    folded = obs_profile.drain_local()
+                    if folded:
+                        detail["profile"] = folded
+                if obs_metrics._enabled:
+                    counter_deltas = _counter_deltas(registry, shipped)
+                    if counter_deltas:
+                        detail["counters"] = counter_deltas
                 if trace is not None:
                     trace_id, parent_span_id, attempt = trace
                     from repro.obs import trace as obs_trace
@@ -450,12 +514,22 @@ class ShardWorker:
             self._conn.send(("stop", self._next_seq()))
             self._conn.poll(timeout)
         except (BrokenPipeError, OSError):
-            pass
+            _log.info(
+                "shard %d pipe already gone during stop", self.shard
+            )
         self._process.join(timeout)
         if self._process.is_alive():
+            _log.warning(
+                "shard %d (pid %s) ignored stop; escalating to SIGTERM",
+                self.shard, self.pid,
+            )
             self._process.terminate()
             self._process.join(timeout)
         if self._process.is_alive():
+            _log.warning(
+                "shard %d (pid %s) survived SIGTERM; escalating to SIGKILL",
+                self.shard, self.pid,
+            )
             self._process.kill()
             self._process.join(timeout)
         try:

@@ -1,0 +1,225 @@
+"""Tests for the perf-regression gate (``benchmarks/compare.py``).
+
+The gate is a script, not a package module — load it by path.  What
+matters: a genuine throughput regression past the threshold exits 1, a
+flat trajectory exits 0, an unmatched machine fingerprint is a loud
+skip (exit 0, notice on stderr) rather than a silent pass, and the
+committed trajectory itself gates clean.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "repro_bench_compare", REPO_ROOT / "benchmarks" / "compare.py"
+)
+compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare)
+
+
+MACHINE = {
+    "cpu_model": "TestCPU",
+    "cpu_count": 4,
+    "affinity": 4,
+    "numa": 1,
+    "cgroup_quota": None,
+    "backend": "numpy",
+    "dtype": "float64",
+    "numba_version": None,
+    "numpy_version": "1.26",
+}
+
+
+def entry(qps: float, latency_ms: float = 10.0, **overrides) -> dict:
+    document = {
+        "commit": "abc1234",
+        "recorded_at": "2026-08-01T00:00:00Z",
+        "backend": "numpy",
+        "compute_dtype": "float64",
+        "batch": 32,
+        "graph": {"kind": "community", "nodes": 400, "edges": 2873,
+                  "avg_degree": 8},
+        "machine": dict(MACHINE),
+        "queries_per_second": qps,
+        "serving_p50_ms": latency_ms,
+        "nodes": 400,  # ungated counter, must never appear as a metric
+    }
+    document.update(overrides)
+    return document
+
+
+def write_lines(path: Path, entries: list[dict]) -> Path:
+    path.write_text(
+        "".join(json.dumps(e) + "\n" for e in entries), encoding="utf-8"
+    )
+    return path
+
+
+class TestGroupingAndDirections:
+    def test_pre_fingerprint_entries_never_group(self):
+        legacy = entry(100.0)
+        del legacy["machine"]
+        assert compare.group_key(legacy) is None
+
+    def test_different_machevery_breaks_comparability(self):
+        a = entry(100.0)
+        b = entry(100.0)
+        b["machine"] = dict(MACHINE, cpu_count=1)
+        assert compare.group_key(a) != compare.group_key(b)
+        c = entry(100.0, batch=64)
+        assert compare.group_key(a) != compare.group_key(c)
+
+    def test_metric_directions(self):
+        assert compare.metric_direction("queries_per_second") == "higher"
+        assert compare.metric_direction("kernel_spmm_speedup") == "higher"
+        assert compare.metric_direction("serving_p99_ms") == "lower"
+        assert compare.metric_direction("sharded_sweep_seconds") == "lower"
+        assert compare.metric_direction("nodes") is None
+
+
+class TestCompareEntry:
+    def test_median_baseline_absorbs_one_noisy_run(self):
+        pool = [entry(100.0), entry(101.0), entry(3.0), entry(99.0),
+                entry(100.5)]
+        result = compare.compare_entry(entry(95.0), pool)
+        (qps,) = [
+            row for row in result["metrics"]
+            if row["metric"] == "queries_per_second"
+        ]
+        assert qps["baseline"] == 100.0  # median, not mean
+        assert not qps["regressed"]
+
+    def test_twenty_percent_throughput_drop_regresses(self):
+        pool = [entry(100.0) for _ in range(5)]
+        result = compare.compare_entry(entry(80.0), pool)
+        assert result["fingerprint_matched"]
+        names = [row["metric"] for row in result["regressions"]]
+        assert "queries_per_second" in names
+
+    def test_latency_direction_is_inverted(self):
+        pool = [entry(100.0, latency_ms=10.0) for _ in range(3)]
+        grew = compare.compare_entry(entry(100.0, latency_ms=13.0), pool)
+        assert [r["metric"] for r in grew["regressions"]] == ["serving_p50_ms"]
+        shrank = compare.compare_entry(entry(100.0, latency_ms=7.0), pool)
+        assert shrank["regressions"] == []
+
+    def test_unmatched_fingerprint_is_skip_not_pass(self):
+        foreign = entry(50.0)
+        foreign["machine"] = dict(MACHINE, cpu_model="OtherCPU")
+        result = compare.compare_entry(entry(10.0), [foreign] * 5)
+        assert result["fingerprint_matched"] is False
+        assert result["metrics"] == []
+        assert result["regressions"] == []
+
+    def test_window_limits_the_baseline(self):
+        pool = [entry(10.0)] * 10 + [entry(100.0)] * 3
+        result = compare.compare_entry(entry(100.0), pool, window=3)
+        (qps,) = [
+            row for row in result["metrics"]
+            if row["metric"] == "queries_per_second"
+        ]
+        assert qps["baseline"] == 100.0
+        assert qps["baseline_entries"] == 3
+
+    def test_ungated_fields_ignored(self):
+        pool = [entry(100.0) for _ in range(3)]
+        result = compare.compare_entry(entry(100.0, nodes=9999), pool)
+        assert all(
+            row["metric"] != "nodes" for row in result["metrics"]
+        )
+
+
+class TestMainExitCodes:
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        trajectory = write_lines(
+            tmp_path / "traj.json", [entry(100.0) for _ in range(5)]
+        )
+        candidate = write_lines(tmp_path / "fresh.json", [entry(80.0)])
+        code = compare.main(
+            ["--input", str(trajectory), "--candidate", str(candidate)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FAIL" in captured.err
+        assert "REGRESSED" in captured.out
+
+    def test_flat_trajectory_exits_zero(self, tmp_path, capsys):
+        trajectory = write_lines(
+            tmp_path / "traj.json",
+            [entry(100.0) for _ in range(5)] + [entry(99.0)],
+        )
+        code = compare.main(["--input", str(trajectory)])
+        assert code == 0
+        assert "REGRESSED" not in capsys.readouterr().out
+
+    def test_unmatched_fingerprint_notice(self, tmp_path, capsys):
+        foreign = entry(100.0)
+        foreign["machine"] = dict(MACHINE, cpu_model="OtherCPU")
+        trajectory = write_lines(
+            tmp_path / "traj.json", [foreign] * 4 + [entry(10.0)]
+        )
+        code = compare.main(["--input", str(trajectory)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "skipped" in captured.out
+        assert "gate skipped" in captured.err
+
+    def test_json_report_schema(self, tmp_path, capsys):
+        trajectory = write_lines(
+            tmp_path / "traj.json", [entry(100.0) for _ in range(4)]
+        )
+        candidate = write_lines(tmp_path / "fresh.json", [entry(70.0)])
+        code = compare.main(
+            ["--input", str(trajectory), "--candidate", str(candidate),
+             "--json"]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == compare.COMPARE_SCHEMA
+        assert report["candidates"] == 1
+        assert report["matched"] == 1
+        assert report["regressions"] >= 1
+        (result,) = report["results"]
+        assert any(
+            row["metric"] == "queries_per_second" and row["regressed"]
+            for row in result["metrics"]
+        )
+
+    def test_threshold_flag_loosens_the_gate(self, tmp_path):
+        trajectory = write_lines(
+            tmp_path / "traj.json", [entry(100.0) for _ in range(5)]
+        )
+        candidate = write_lines(tmp_path / "fresh.json", [entry(80.0)])
+        code = compare.main(
+            ["--input", str(trajectory), "--candidate", str(candidate),
+             "--threshold", "0.5"]
+        )
+        assert code == 0
+
+    def test_malformed_input_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "traj.json"
+        bad.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        code = compare.main(["--input", str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_trajectory_exits_zero(self, tmp_path, capsys):
+        empty = tmp_path / "traj.json"
+        empty.write_text("", encoding="utf-8")
+        assert compare.main(["--input", str(empty)]) == 0
+        assert "nothing to gate" in capsys.readouterr().err
+
+    @pytest.mark.skipif(
+        not (REPO_ROOT / "BENCH_kernels.json").exists(),
+        reason="no committed trajectory",
+    )
+    def test_committed_trajectory_gates_clean(self, capsys):
+        assert compare.main([]) == 0
+        capsys.readouterr()
